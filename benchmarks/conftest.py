@@ -1,0 +1,82 @@
+"""Shared fixtures for the benchmark harness.
+
+The heavy work — generating the synthetic datasets, training the LINE
+entity embeddings and training every compared method — happens once per
+pytest session in the fixtures below.  The timed benchmark bodies then
+measure the per-experiment computational kernels (evaluation, bucketing,
+nearest-neighbour queries, dataset generation, ...), and every benchmark
+writes the table/figure it regenerates to ``benchmarks/results/``.
+
+Set ``REPRO_BENCH_PROFILE=tiny`` to run the whole harness in a couple of
+minutes (e.g. for CI smoke checks); the default ``small`` profile is the
+scale used for the numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.config import ScaleProfile  # noqa: E402
+from repro.experiments import table4 as table4_module  # noqa: E402
+from repro.experiments.pipeline import prepare_context  # noqa: E402
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+SEED = 0
+
+
+def write_report(name: str, content: str) -> Path:
+    """Persist a regenerated table/figure next to the benchmarks."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(content + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_profile() -> ScaleProfile:
+    name = os.environ.get("REPRO_BENCH_PROFILE", "small").lower()
+    profiles = {
+        "tiny": ScaleProfile.tiny,
+        "small": ScaleProfile.small,
+        "medium": ScaleProfile.medium,
+    }
+    if name not in profiles:
+        raise ValueError(f"unknown REPRO_BENCH_PROFILE '{name}'")
+    return profiles[name]()
+
+
+@pytest.fixture(scope="session")
+def nyt_ctx(bench_profile):
+    """Prepared SynthNYT experiment context (dataset, graph, embeddings)."""
+    return prepare_context("nyt", profile=bench_profile, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def gds_ctx(bench_profile):
+    """Prepared SynthGDS experiment context."""
+    return prepare_context("gds", profile=bench_profile, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def contexts(nyt_ctx, gds_ctx):
+    return {"nyt": nyt_ctx, "gds": gds_ctx}
+
+
+@pytest.fixture(scope="session")
+def table4_results(contexts, bench_profile):
+    """Table IV results for every method on both datasets (trained once)."""
+    return table4_module.run(
+        datasets=("nyt", "gds"),
+        methods=table4_module.TABLE4_METHODS,
+        profile=bench_profile,
+        seed=SEED,
+        contexts=contexts,
+    )

@@ -1,0 +1,27 @@
+"""Ablation: first-order vs second-order vs concatenated LINE embeddings.
+
+This goes beyond the paper's tables (DESIGN.md section 4): it isolates how
+much each proximity order contributes to the PA-MR model, and benchmarks the
+LINE training stage itself.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+from repro.graph.embeddings import train_entity_embeddings
+from repro.graph.line import LineConfig
+
+from conftest import write_report
+
+
+def test_ablation_line_orders(benchmark, nyt_ctx):
+    results = ablations.run_line_order_ablation(context=nyt_ctx)
+    write_report("ablation_line_orders", ablations.format_line_order_report(results))
+
+    assert set(results) == {"first", "second", "both"}
+    assert all(0.0 <= auc <= 1.0 for auc in results.values())
+
+    # Timed kernel: training the LINE embeddings on the proximity graph.
+    config = LineConfig(embedding_dim=32, epochs=5, batch_edges=256, seed=0)
+    embeddings = benchmark(train_entity_embeddings, nyt_ctx.proximity_graph, config)
+    assert embeddings.dim == 32

@@ -1,0 +1,23 @@
+"""Regenerates Table V / Figure 8 (entity-embedding case study)."""
+
+from __future__ import annotations
+
+from repro.experiments import case_study
+
+from conftest import write_report
+
+
+def test_case_study_nearest_entities(benchmark, nyt_ctx):
+    results = case_study.run(context=nyt_ctx)
+    write_report("table5_figure8_case_study", case_study.format_report(results))
+
+    neighbours = results["neighbours"]
+    assert "seattle" in neighbours and "university_of_washington" in neighbours
+    # The case-study entities must have embeddings and a full neighbour list.
+    assert len(neighbours["seattle"]) > 0
+    assert len(neighbours["university_of_washington"]) > 0
+    # Figure 8 projection covers every embedded entity in 3-D.
+    assert results["projection"].shape == (len(results["projection_names"]), 3)
+
+    # Timed kernel: the nearest-neighbour query behind Table V.
+    benchmark(nyt_ctx.entity_embeddings.nearest, "seattle", 10)

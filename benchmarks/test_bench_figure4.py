@@ -1,0 +1,34 @@
+"""Regenerates Figure 4 (precision-recall curves of all methods)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.metrics import area_under_curve, precision_recall_curve
+from repro.experiments import figure4
+
+from conftest import write_report
+
+
+def test_figure4_pr_curves(benchmark, table4_results):
+    curves = {
+        dataset: {method: result.pr_curve for method, result in results.items()}
+        for dataset, results in table4_results.items()
+    }
+    write_report("figure4_pr_curves", figure4.format_report(curves))
+
+    # Figure 4 shape: PA-TMR's PR curve dominates its PCNN+ATT base in area.
+    for dataset, results in table4_results.items():
+        assert results["pa_tmr"].auc >= results["pcnn_att"].auc - 0.02
+
+    # Timed kernel: computing a PR curve + AUC from a large ranked prediction list.
+    rng = np.random.default_rng(0)
+    scores = rng.random(20000)
+    correct = rng.random(20000) < 0.3
+
+    def kernel():
+        precision, recall = precision_recall_curve(scores, correct, total_positives=6000)
+        return area_under_curve(precision, recall)
+
+    auc = benchmark(kernel)
+    assert 0.0 <= auc <= 1.0

@@ -1,0 +1,27 @@
+"""Regenerates Figure 5 (flexibility: +T+MR attached to other base models)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure5
+from repro.experiments.pipeline import train_and_evaluate
+
+from conftest import write_report
+
+# GRU-based bases are included to demonstrate the RNN path, exactly as in the
+# paper; they dominate the fixture's training time.
+FIGURE5_BASES = ("gru_att", "cnn_att", "pcnn", "pcnn_att")
+
+
+def test_figure5_flexibility(benchmark, nyt_ctx):
+    results = figure5.run(bases=FIGURE5_BASES, context=nyt_ctx)
+    write_report("figure5_flexibility", figure5.format_report(results))
+
+    # Figure 5 shape: attaching the entity information improves (or at worst
+    # leaves unchanged) the majority of base models.
+    assert figure5.fraction_improved(results) >= 0.5
+
+    # Timed kernel: a single augmented-model prediction (the per-bag inference
+    # cost users pay for the extra heads).
+    method, _ = train_and_evaluate(nyt_ctx, "pcnn_att+tmr")
+    bag = nyt_ctx.test_encoded[0]
+    benchmark(method.predict_probabilities, bag)

@@ -1,0 +1,29 @@
+"""Regenerates Figure 6 (F1 by unlabeled-corpus co-occurrence quantile)."""
+
+from __future__ import annotations
+
+from repro.eval.buckets import bucket_f1_by_cooccurrence
+from repro.experiments import figure6
+from repro.experiments.pipeline import train_and_evaluate
+
+from conftest import write_report
+
+
+def test_figure6_cooccurrence_quantiles(benchmark, nyt_ctx):
+    results = figure6.run(methods=("pcnn_att", "pa_tmr"), num_buckets=4, context=nyt_ctx)
+    write_report("figure6_cooccurrence_quantiles", figure6.format_report(results))
+
+    assert set(results) == {"pcnn_att", "pa_tmr"}
+    for per_bucket in results.values():
+        assert len(per_bucket) == 4
+        assert all(0.0 <= value <= 1.0 for value in per_bucket.values())
+
+    # Timed kernel: the bucketed evaluation itself for the proposed model.
+    method, _ = train_and_evaluate(nyt_ctx, "pa_tmr")
+    benchmark(
+        bucket_f1_by_cooccurrence,
+        nyt_ctx.evaluator,
+        method.predict_probabilities,
+        nyt_ctx.bundle,
+        4,
+    )

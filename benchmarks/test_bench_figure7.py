@@ -1,0 +1,30 @@
+"""Regenerates Figure 7 (F1 by number of training sentences per entity pair)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.eval.buckets import bucket_f1_by_sentence_count
+from repro.experiments import figure7
+from repro.experiments.pipeline import train_and_evaluate
+
+from conftest import write_report
+
+
+def test_figure7_training_sentence_buckets(benchmark, nyt_ctx):
+    results = figure7.run(methods=("pcnn_att", "pa_tmr"), context=nyt_ctx)
+    write_report("figure7_sentence_count_buckets", figure7.format_report(results))
+
+    assert set(results) == {"pcnn_att", "pa_tmr"}
+    # Figure 7 shape: PA-TMR should not lose to PCNN+ATT on the pairs with the
+    # fewest training sentences — that is the regime the mutual relations help.
+    advantage = figure7.advantage_on_infrequent_pairs(results)
+    assert math.isnan(advantage) or advantage >= -0.1
+
+    method, _ = train_and_evaluate(nyt_ctx, "pa_tmr")
+    benchmark(
+        bucket_f1_by_sentence_count,
+        nyt_ctx.evaluator,
+        method.predict_probabilities,
+        nyt_ctx.test_encoded,
+    )

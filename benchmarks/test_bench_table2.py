@@ -1,0 +1,23 @@
+"""Regenerates Table II (dataset statistics) and benchmarks dataset generation."""
+
+from __future__ import annotations
+
+from repro.corpus.datasets import build_synth_gds, dataset_statistics
+from repro.experiments import table2
+
+from conftest import write_report
+
+
+def test_table2_dataset_statistics(benchmark, nyt_ctx, gds_ctx, bench_profile):
+    bundles = {"SynthNYT": nyt_ctx.bundle, "SynthGDS": gds_ctx.bundle}
+    statistics = table2.run(bundles=bundles)
+    report = table2.format_report(statistics)
+    write_report("table2_dataset_statistics", report)
+
+    # Table II shape: NYT-like corpus is larger than GDS-like, and has more relations.
+    assert statistics["SynthNYT"]["training"]["sentences"] > statistics["SynthGDS"]["training"]["sentences"]
+    assert statistics["SynthNYT"]["relations"]["count"] > statistics["SynthGDS"]["relations"]["count"]
+
+    # Timed kernel: regenerating the smaller dataset bundle from scratch.
+    result = benchmark(lambda: dataset_statistics(build_synth_gds(bench_profile, seed=1)))
+    assert result["relations"]["count"] == gds_ctx.num_relations

@@ -1,0 +1,23 @@
+"""Regenerates Table III (hyper-parameter settings)."""
+
+from __future__ import annotations
+
+from repro.experiments import table3
+
+from conftest import write_report
+
+
+def test_table3_parameter_settings(benchmark, bench_profile):
+    settings = benchmark(table3.run, bench_profile)
+    report = table3.format_report(settings)
+    write_report("table3_parameter_settings", report)
+
+    # The paper column must reproduce Table III exactly.
+    paper = settings["paper"]
+    assert paper["entity_embedding_dim"] == 128
+    assert paper["type_embedding_dim"] == 20
+    assert paper["window_size"] == 3
+    assert paper["num_filters"] == 230
+    assert paper["word_embedding_dim"] == 50
+    assert paper["max_sentence_length"] == 120
+    assert paper["batch_size"] == 160

@@ -1,0 +1,33 @@
+"""Regenerates Table IV (performance comparison of all methods).
+
+Training of the seven compared methods happens once per session in the shared
+``table4_results`` fixture; the timed kernel is the held-out evaluation of the
+proposed PA-TMR model over the full test set.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table4
+from repro.experiments.pipeline import train_and_evaluate
+
+from conftest import write_report
+
+
+def test_table4_performance_comparison(benchmark, table4_results, contexts):
+    report = table4.format_report(table4_results)
+    write_report("table4_performance_comparison", report)
+
+    for dataset, results in table4_results.items():
+        # Every method must produce a valid AUC.
+        for name, evaluation in results.items():
+            assert 0.0 <= evaluation.auc <= 1.0, f"{name} on {dataset}"
+        # Core shape of the paper: the proposed PA-TMR improves on its
+        # PCNN+ATT base, and the full model is at least as good as using a
+        # single entity-information source.
+        assert results["pa_tmr"].auc >= results["pcnn_att"].auc - 0.02
+        assert results["pa_tmr"].auc >= min(results["pa_t"].auc, results["pa_mr"].auc) - 0.02
+
+    # Timed kernel: full held-out evaluation of PA-TMR on SynthNYT.
+    nyt_ctx = contexts["nyt"]
+    method, _ = train_and_evaluate(nyt_ctx, "pa_tmr")
+    benchmark(nyt_ctx.evaluator.evaluate, method.predict_probabilities, "PA-TMR")

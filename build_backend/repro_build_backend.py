@@ -1,0 +1,180 @@
+"""Self-contained PEP 517 build backend for the ``repro`` package.
+
+Why this exists
+---------------
+The reproduction is developed and evaluated in an offline environment: pip
+cannot download ``setuptools``/``wheel`` into an isolated build environment,
+so the standard ``setuptools.build_meta`` backend is unusable for
+``pip install -e .``.  This backend has **zero build requirements** (standard
+library only) and implements exactly what pip needs:
+
+* ``build_wheel``      — a regular wheel containing ``src/repro``;
+* ``build_editable``   — a PEP 660 editable wheel containing a ``.pth`` file
+  that points at the project's ``src`` directory;
+* ``build_sdist``      — a source tarball;
+* the ``get_requires_for_build_*`` hooks, all returning ``[]``.
+
+The project metadata (name, version, dependencies) is kept in one place below
+and mirrors ``pyproject.toml``'s ``[project]`` table.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import tarfile
+import zipfile
+from pathlib import Path
+
+PROJECT_NAME = "repro"
+VERSION = "1.0.0"
+SUMMARY = (
+    "Reproduction of 'Improving Neural Relation Extraction with Implicit "
+    "Mutual Relations' (Kuang et al., ICDE 2020)"
+)
+REQUIRES = (
+    "numpy>=1.24",
+    "scipy>=1.10",
+    "networkx>=3.0",
+)
+REQUIRES_PYTHON = ">=3.10"
+TAG = "py3-none-any"
+
+_ROOT = Path(__file__).resolve().parent.parent
+
+
+# --------------------------------------------------------------------------- #
+# Metadata files
+# --------------------------------------------------------------------------- #
+def _metadata_text() -> str:
+    lines = [
+        "Metadata-Version: 2.1",
+        f"Name: {PROJECT_NAME}",
+        f"Version: {VERSION}",
+        f"Summary: {SUMMARY}",
+        f"Requires-Python: {REQUIRES_PYTHON}",
+        "License: MIT",
+    ]
+    lines.extend(f"Requires-Dist: {requirement}" for requirement in REQUIRES)
+    readme = _ROOT / "README.md"
+    if readme.exists():
+        lines.append("Description-Content-Type: text/markdown")
+        lines.append("")
+        lines.append(readme.read_text(encoding="utf-8"))
+    return "\n".join(lines) + "\n"
+
+
+def _wheel_text() -> str:
+    return (
+        "Wheel-Version: 1.0\n"
+        f"Generator: {PROJECT_NAME}-build-backend ({VERSION})\n"
+        "Root-Is-Purelib: true\n"
+        f"Tag: {TAG}\n"
+    )
+
+
+def _record_entry(archive_name: str, data: bytes) -> str:
+    digest = base64.urlsafe_b64encode(hashlib.sha256(data).digest()).rstrip(b"=").decode()
+    return f"{archive_name},sha256={digest},{len(data)}"
+
+
+class _WheelWriter:
+    """Write files into a wheel (zip) while accumulating RECORD entries."""
+
+    def __init__(self, path: Path, dist_info: str) -> None:
+        self._zip = zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED)
+        self._dist_info = dist_info
+        self._record: list[str] = []
+
+    def add_bytes(self, archive_name: str, data: bytes) -> None:
+        self._zip.writestr(zipfile.ZipInfo(archive_name, date_time=(2020, 1, 1, 0, 0, 0)), data)
+        self._record.append(_record_entry(archive_name, data))
+
+    def add_text(self, archive_name: str, text: str) -> None:
+        self.add_bytes(archive_name, text.encode("utf-8"))
+
+    def close(self) -> None:
+        record_name = f"{self._dist_info}/RECORD"
+        record_body = "\n".join(self._record + [f"{record_name},,"]) + "\n"
+        self._zip.writestr(zipfile.ZipInfo(record_name, date_time=(2020, 1, 1, 0, 0, 0)), record_body)
+        self._zip.close()
+
+
+def _write_dist_info(writer: _WheelWriter, dist_info: str) -> None:
+    writer.add_text(f"{dist_info}/METADATA", _metadata_text())
+    writer.add_text(f"{dist_info}/WHEEL", _wheel_text())
+    writer.add_text(f"{dist_info}/top_level.txt", f"{PROJECT_NAME}\n")
+
+
+def _package_files() -> list[Path]:
+    package_root = _ROOT / "src" / PROJECT_NAME
+    return sorted(
+        path
+        for path in package_root.rglob("*")
+        if path.is_file() and "__pycache__" not in path.parts
+    )
+
+
+# --------------------------------------------------------------------------- #
+# PEP 517 hooks
+# --------------------------------------------------------------------------- #
+def get_requires_for_build_wheel(config_settings=None):  # noqa: D103 - PEP 517 hook
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):  # noqa: D103 - PEP 517 hook
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):  # noqa: D103 - PEP 517 hook
+    return []
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    """Build a regular wheel containing the ``repro`` package."""
+    dist_info = f"{PROJECT_NAME}-{VERSION}.dist-info"
+    wheel_name = f"{PROJECT_NAME}-{VERSION}-{TAG}.whl"
+    wheel_path = Path(wheel_directory) / wheel_name
+    writer = _WheelWriter(wheel_path, dist_info)
+    source_root = _ROOT / "src"
+    for path in _package_files():
+        archive_name = path.relative_to(source_root).as_posix()
+        writer.add_bytes(archive_name, path.read_bytes())
+    _write_dist_info(writer, dist_info)
+    writer.close()
+    return wheel_name
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    """Build a PEP 660 editable wheel: a ``.pth`` file pointing at ``src``."""
+    dist_info = f"{PROJECT_NAME}-{VERSION}.dist-info"
+    wheel_name = f"{PROJECT_NAME}-{VERSION}-{TAG}.whl"
+    wheel_path = Path(wheel_directory) / wheel_name
+    writer = _WheelWriter(wheel_path, dist_info)
+    src_path = (_ROOT / "src").resolve()
+    writer.add_text(f"__editable__.{PROJECT_NAME}.pth", f"{src_path}\n")
+    _write_dist_info(writer, dist_info)
+    writer.close()
+    return wheel_name
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    """Build a source distribution tarball of the project tree."""
+    sdist_name = f"{PROJECT_NAME}-{VERSION}.tar.gz"
+    sdist_path = Path(sdist_directory) / sdist_name
+    prefix = f"{PROJECT_NAME}-{VERSION}"
+    include = ["pyproject.toml", "README.md", "DESIGN.md", "EXPERIMENTS.md", "build_backend", "src", "tests", "benchmarks", "examples"]
+    with tarfile.open(sdist_path, "w:gz") as archive:
+        for entry in include:
+            path = _ROOT / entry
+            if not path.exists():
+                continue
+            archive.add(path, arcname=f"{prefix}/{entry}", filter=_exclude_pycache)
+    return sdist_name
+
+
+def _exclude_pycache(tarinfo: tarfile.TarInfo):
+    if "__pycache__" in tarinfo.name or tarinfo.name.endswith(".pyc"):
+        return None
+    return tarinfo

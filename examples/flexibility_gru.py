@@ -1,0 +1,58 @@
+"""Flexibility demo: attach the entity information to a GRU-based encoder.
+
+The paper's Figure 5 shows that the implicit-mutual-relation and entity-type
+components improve CNN-based *and* RNN-based relation extractors without any
+modification of the base architecture.  This example builds a GRU+ATT model
+from the public API, attaches the two heads through
+:func:`repro.core.build_model`, and compares the two on the synthetic GDS
+dataset (the smaller dataset, where the paper reports the larger gains).
+
+Run:  python examples/flexibility_gru.py [--profile tiny|small]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.config import ScaleProfile
+from repro.experiments.pipeline import prepare_context, train_and_evaluate
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", choices=["tiny", "small"], default="tiny")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--dataset", choices=["nyt", "gds"], default="gds")
+    args = parser.parse_args()
+    profile = ScaleProfile.tiny() if args.profile == "tiny" else ScaleProfile.small()
+
+    context = prepare_context(args.dataset, profile=profile, seed=args.seed)
+    print(
+        f"dataset {context.dataset_name}: {len(context.train_encoded)} training bags, "
+        f"{context.num_relations} relations"
+    )
+
+    rows = []
+    for name in ("gru_att", "gru_att+tmr", "cnn_att", "cnn_att+tmr"):
+        method, result = train_and_evaluate(context, name)
+        rows.append([method.name, result.auc, result.f1])
+    print()
+    print(
+        format_table(
+            ["model", "AUC", "F1"],
+            rows,
+            title="Figure 5 style comparison — base models with and without +T+MR",
+        )
+    )
+
+    base_auc = rows[0][1]
+    augmented_auc = rows[1][1]
+    print(
+        f"\nAdding the entity information changes GRU+ATT AUC by {augmented_auc - base_auc:+.4f} "
+        "without modifying the encoder."
+    )
+
+
+if __name__ == "__main__":
+    main()

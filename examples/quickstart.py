@@ -1,0 +1,78 @@
+"""Quickstart: train PA-TMR on a small synthetic NYT-like dataset.
+
+This walks through the full pipeline of the paper in a couple of minutes:
+
+1. generate a synthetic distant-supervision dataset and unlabeled corpus;
+2. build the entity proximity graph and train LINE entity embeddings;
+3. train the PA-TMR model (PCNN+ATT + entity types + implicit mutual
+   relations) and its PCNN+ATT base;
+4. compare them with the held-out evaluation and inspect the motivating
+   example of the paper's Table I: the implicit mutual relation of
+   (stanford_university, california) resembles that of
+   (university_of_washington, seattle).
+
+Run:  python examples/quickstart.py [--profile tiny|small] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.config import ScaleProfile
+from repro.experiments.pipeline import prepare_context, train_and_evaluate
+from repro.kb.generator import CASE_STUDY_LOCATED_IN
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", choices=["tiny", "small"], default="tiny")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    profile = ScaleProfile.tiny() if args.profile == "tiny" else ScaleProfile.small()
+
+    print("== 1. building the synthetic dataset, proximity graph and embeddings ==")
+    context = prepare_context("nyt", profile=profile, seed=args.seed)
+    print(
+        f"dataset {context.dataset_name}: {len(context.train_encoded)} training bags, "
+        f"{len(context.test_encoded)} test bags, {context.num_relations} relations, "
+        f"{context.proximity_graph.num_vertices} proximity-graph vertices"
+    )
+
+    print("\n== 2. training PCNN+ATT (base) and PA-TMR (proposed) ==")
+    _, base_result = train_and_evaluate(context, "pcnn_att")
+    _, proposed_result = train_and_evaluate(context, "pa_tmr")
+    print(
+        format_table(
+            ["model", "AUC", "precision", "recall", "F1"],
+            [
+                base_result.summary_row(p_at=())[:5],
+                proposed_result.summary_row(p_at=())[:5],
+            ],
+        )
+    )
+
+    print("\n== 3. the Table I intuition: similar pairs share implicit mutual relations ==")
+    embeddings = context.entity_embeddings
+    query = ("stanford_university", "california")
+    if query[0] in embeddings and query[1] in embeddings:
+        candidates = [pair for pair in CASE_STUDY_LOCATED_IN if pair != query]
+        ranked = embeddings.analogous_pairs(query[0], query[1], candidates, k=4)
+        rows = [[f"({head}, {tail})", score] for (head, tail), score in ranked]
+        print(
+            format_table(
+                ["pair with the most similar implicit mutual relation", "cosine"],
+                rows,
+            )
+        )
+    else:
+        print("case-study entities not present at this scale; rerun with --profile small")
+
+    print(
+        "\nPA-TMR improves AUC over PCNN+ATT by "
+        f"{proposed_result.auc - base_result.auc:+.4f} on this run."
+    )
+
+
+if __name__ == "__main__":
+    main()

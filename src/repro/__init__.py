@@ -1,0 +1,90 @@
+"""repro — reproduction of "Improving Neural Relation Extraction with
+Implicit Mutual Relations" (Kuang et al., ICDE 2020).
+
+The package is organised as:
+
+* :mod:`repro.nn` — numpy autograd / neural-network substrate;
+* :mod:`repro.kb`, :mod:`repro.corpus`, :mod:`repro.text` — synthetic
+  knowledge base, distant-supervision corpora and text utilities;
+* :mod:`repro.graph` — entity proximity graph + LINE entity embeddings;
+* :mod:`repro.encoders`, :mod:`repro.core` — sentence encoders and the
+  paper's PA-T / PA-MR / PA-TMR models;
+* :mod:`repro.baselines` — every compared method;
+* :mod:`repro.training`, :mod:`repro.eval` — training loop and held-out
+  evaluation;
+* :mod:`repro.experiments` — one module per table/figure of the paper.
+"""
+
+from . import nn
+from .config import (
+    ExperimentConfig,
+    GraphEmbeddingConfig,
+    ModelConfig,
+    ScaleProfile,
+    TrainingConfig,
+)
+from .corpus import (
+    Bag,
+    DatasetBundle,
+    EncodedBag,
+    RelationExtractionDataset,
+    SentenceExample,
+    build_synth_gds,
+    build_synth_nyt,
+)
+from .corpus.loader import BagEncoder, BatchIterator, TypeVocabulary
+from .core import (
+    BagRelationClassifier,
+    ConfidenceCombiner,
+    EntityTypeHead,
+    MutualRelationHead,
+    NeuralREModel,
+    build_model,
+    build_pa_mr,
+    build_pa_t,
+    build_pa_tmr,
+)
+from .eval import HeldOutEvaluator
+from .graph import EntityEmbeddings, EntityProximityGraph, LineConfig, train_entity_embeddings
+from .kb import KnowledgeBase, KnowledgeBaseGenerator, RelationSchema
+from .training import Trainer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "ModelConfig",
+    "TrainingConfig",
+    "GraphEmbeddingConfig",
+    "ScaleProfile",
+    "ExperimentConfig",
+    "Bag",
+    "SentenceExample",
+    "EncodedBag",
+    "RelationExtractionDataset",
+    "DatasetBundle",
+    "build_synth_nyt",
+    "build_synth_gds",
+    "BagEncoder",
+    "BatchIterator",
+    "TypeVocabulary",
+    "BagRelationClassifier",
+    "EntityTypeHead",
+    "MutualRelationHead",
+    "ConfidenceCombiner",
+    "NeuralREModel",
+    "build_model",
+    "build_pa_t",
+    "build_pa_mr",
+    "build_pa_tmr",
+    "HeldOutEvaluator",
+    "EntityProximityGraph",
+    "EntityEmbeddings",
+    "LineConfig",
+    "train_entity_embeddings",
+    "KnowledgeBase",
+    "KnowledgeBaseGenerator",
+    "RelationSchema",
+    "Trainer",
+    "__version__",
+]

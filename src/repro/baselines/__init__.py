@@ -1,0 +1,27 @@
+"""Baseline relation-extraction methods the paper compares against.
+
+Neural baselines (PCNN, PCNN+ATT, CNN+ATT, GRU+ATT, BGWA) reuse the shared
+:class:`repro.core.BagRelationClassifier`; the feature-based baselines
+(Mintz, MultiR, MIMLRE) and the reinforcement-learning baseline (CNN+RL) have
+their own training procedures.  All of them implement the common
+:class:`RelationExtractionMethod` interface so the experiment harness can
+treat every method uniformly.
+"""
+
+from .api import NeuralMethod, RelationExtractionMethod
+from .mintz import MintzMethod
+from .multir import MultiRMethod
+from .mimlre import MIMLREMethod
+from .cnn_rl import CNNRLMethod
+from .registry import available_methods, build_method
+
+__all__ = [
+    "RelationExtractionMethod",
+    "NeuralMethod",
+    "MintzMethod",
+    "MultiRMethod",
+    "MIMLREMethod",
+    "CNNRLMethod",
+    "available_methods",
+    "build_method",
+]

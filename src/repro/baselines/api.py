@@ -1,0 +1,90 @@
+"""Common interface of every relation-extraction method.
+
+A method is trained on a list of encoded bags and afterwards maps any encoded
+bag to a probability distribution over relations; the held-out evaluator only
+needs that mapping.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..config import TrainingConfig
+from ..corpus.bags import EncodedBag
+from ..exceptions import ModelError
+from ..training.trainer import Trainer, TrainingResult
+
+
+class RelationExtractionMethod(ABC):
+    """Abstract base class: fit on encoded bags, predict per-bag distributions."""
+
+    def __init__(self, name: str, num_relations: int) -> None:
+        self.name = name
+        self.num_relations = num_relations
+        self._fitted = False
+
+    @abstractmethod
+    def fit(self, train_bags: Sequence[EncodedBag]) -> "RelationExtractionMethod":
+        """Train the method; returns ``self`` for chaining."""
+
+    @abstractmethod
+    def predict_probabilities(self, bag: EncodedBag) -> np.ndarray:
+        """Probability distribution over relations for one bag."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise ModelError(f"method '{self.name}' must be fitted before predicting")
+
+    def predictor(self) -> Callable[[EncodedBag], np.ndarray]:
+        """Return the prediction callable expected by the evaluator."""
+        self._check_fitted()
+        return self.predict_probabilities
+
+    def predict_relation(self, bag: EncodedBag) -> int:
+        """Most probable relation id for a bag."""
+        return int(np.argmax(self.predict_probabilities(bag)))
+
+
+class NeuralMethod(RelationExtractionMethod):
+    """Adapter wrapping any neural model trainable by :class:`Trainer`.
+
+    The wrapped model must expose ``forward(bag, relation_id)`` returning
+    relation logits and ``predict_probabilities(bag)``; both
+    :class:`repro.core.NeuralREModel` and models built by
+    :func:`repro.core.build_model` satisfy this.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        model,
+        num_relations: int,
+        training_config: Optional[TrainingConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(name, num_relations)
+        self.model = model
+        self.training_config = training_config or TrainingConfig()
+        self._rng = rng or np.random.default_rng(self.training_config.seed)
+        self.training_result: Optional[TrainingResult] = None
+
+    def fit(self, train_bags: Sequence[EncodedBag]) -> "NeuralMethod":
+        trainer = Trainer(
+            self.model,
+            num_relations=self.num_relations,
+            config=self.training_config,
+            rng=self._rng,
+        )
+        self.training_result = trainer.fit(train_bags)
+        self._fitted = True
+        return self
+
+    def predict_probabilities(self, bag: EncodedBag) -> np.ndarray:
+        self._check_fitted()
+        return self.model.predict_probabilities(bag)

@@ -1,0 +1,172 @@
+"""CNN+RL (Feng et al., 2018): reinforcement-learning instance selection.
+
+The method has two modules: an *instance selector* that decides which
+sentences of a bag to keep, and a *relation classifier* (a CNN) trained on the
+kept sentences.  The selector is a stochastic policy trained with REINFORCE,
+rewarded by the classifier's log-likelihood of the bag label on the selected
+sentences; the classifier is trained jointly on the selected subsets.
+
+The implementation below follows that structure with the library's numpy
+substrate: the policy is a logistic model over detached sentence
+representations, the classifier is the shared CNN bag classifier with average
+aggregation over the selected sentences, and a moving-average baseline reduces
+the variance of the policy gradient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..config import ModelConfig, TrainingConfig
+from ..core.classifier import BagRelationClassifier
+from ..corpus.bags import EncodedBag
+from ..nn import SGD, Adam, functional as F
+from ..nn import stack as nn_stack
+from .api import RelationExtractionMethod
+
+
+def _select_sentences(bag: EncodedBag, indices: Sequence[int]) -> EncodedBag:
+    """A copy of ``bag`` restricted to the selected sentence indices."""
+    indices = list(indices)
+    return replace(
+        bag,
+        token_ids=bag.token_ids[indices],
+        head_position_ids=bag.head_position_ids[indices],
+        tail_position_ids=bag.tail_position_ids[indices],
+        segment_ids=bag.segment_ids[indices],
+        mask=bag.mask[indices],
+    )
+
+
+class CNNRLMethod(RelationExtractionMethod):
+    """Instance selector (REINFORCE) + CNN relation classifier."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        num_relations: int,
+        model_config: Optional[ModelConfig] = None,
+        training_config: Optional[TrainingConfig] = None,
+        selector_learning_rate: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        super().__init__("CNN+RL", num_relations)
+        self.model_config = model_config or ModelConfig.paper_defaults()
+        self.training_config = training_config or TrainingConfig()
+        self._rng = np.random.default_rng(seed)
+        self.classifier = BagRelationClassifier(
+            vocab_size=vocab_size,
+            num_relations=num_relations,
+            config=self.model_config,
+            encoder_type="cnn",
+            attention=False,
+            rng=self._rng,
+        )
+        # Policy parameters over the classifier's sentence representations.
+        feature_dim = self.classifier.encoder.output_dim
+        self.selector_weights = np.zeros(feature_dim)
+        self.selector_bias = 0.0
+        self.selector_learning_rate = selector_learning_rate
+        self._reward_baseline = 0.0
+        self._class_weights = np.ones(num_relations)
+        self._class_weights[0] = self.training_config.na_class_weight
+
+    # ------------------------------------------------------------------ #
+    # Selector policy
+    # ------------------------------------------------------------------ #
+    def _sentence_features(self, bag: EncodedBag) -> np.ndarray:
+        """Detached sentence representations used as the policy's state."""
+        was_training = self.classifier.training
+        self.classifier.eval()
+        try:
+            representations = self.classifier.sentence_representations(bag).data
+        finally:
+            self.classifier.train(was_training)
+        return np.asarray(representations)
+
+    def _selection_probabilities(self, features: np.ndarray) -> np.ndarray:
+        logits = features @ self.selector_weights + self.selector_bias
+        return 1.0 / (1.0 + np.exp(-np.clip(logits, -30, 30)))
+
+    def _sample_selection(self, probabilities: np.ndarray) -> np.ndarray:
+        selection = self._rng.random(len(probabilities)) < probabilities
+        if not selection.any():
+            # Always keep at least the sentence the policy likes most.
+            selection[int(np.argmax(probabilities))] = True
+        return selection
+
+    def _update_selector(
+        self,
+        features: np.ndarray,
+        probabilities: np.ndarray,
+        selection: np.ndarray,
+        reward: float,
+    ) -> None:
+        """REINFORCE update with a moving-average baseline."""
+        advantage = reward - self._reward_baseline
+        self._reward_baseline = 0.9 * self._reward_baseline + 0.1 * reward
+        # d log pi / d logits = action - p  for Bernoulli policies.
+        grad_logits = (selection.astype(float) - probabilities) * advantage
+        self.selector_weights += self.selector_learning_rate * features.T @ grad_logits / len(features)
+        self.selector_bias += self.selector_learning_rate * grad_logits.mean()
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def fit(self, train_bags: Sequence[EncodedBag]) -> "CNNRLMethod":
+        parameters = list(self.classifier.parameters())
+        if self.training_config.optimizer == "adam":
+            optimizer = Adam(parameters, lr=self.training_config.learning_rate)
+        else:
+            optimizer = SGD(parameters, lr=self.training_config.learning_rate)
+        batch_size = self.training_config.batch_size
+        self.classifier.train()
+        for _ in range(self.training_config.epochs):
+            order = self._rng.permutation(len(train_bags))
+            for start in range(0, len(order), batch_size):
+                batch = [train_bags[int(i)] for i in order[start:start + batch_size]]
+                logits_list = []
+                labels: List[int] = []
+                for bag in batch:
+                    features = self._sentence_features(bag)
+                    probabilities = self._selection_probabilities(features)
+                    selection = self._sample_selection(probabilities)
+                    selected_bag = _select_sentences(bag, np.flatnonzero(selection))
+                    logits = self.classifier(selected_bag, bag.label)
+                    logits_list.append(logits)
+                    labels.append(bag.label)
+                    # Reward: log-likelihood of the gold relation under the
+                    # classifier for the selected subset.
+                    log_probs = F.log_softmax(logits, axis=-1).data
+                    self._update_selector(
+                        features, probabilities, selection, float(log_probs[bag.label])
+                    )
+                stacked = nn_stack(logits_list, axis=0)
+                loss = F.cross_entropy(
+                    stacked, np.array(labels, dtype=np.int64), weight=self._class_weights
+                )
+                optimizer.zero_grad()
+                loss.backward()
+                if self.training_config.grad_clip is not None:
+                    optimizer.clip_grad_norm(self.training_config.grad_clip)
+                optimizer.step()
+        self.classifier.eval()
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Prediction
+    # ------------------------------------------------------------------ #
+    def predict_probabilities(self, bag: EncodedBag) -> np.ndarray:
+        self._check_fitted()
+        features = self._sentence_features(bag)
+        probabilities = self._selection_probabilities(features)
+        selection = probabilities >= 0.5
+        if not selection.any():
+            selection[int(np.argmax(probabilities))] = True
+        selected_bag = _select_sentences(bag, np.flatnonzero(selection))
+        logits = self.classifier(selected_bag, None)
+        return np.asarray(F.softmax(logits, axis=-1).data, dtype=np.float64)

@@ -1,0 +1,134 @@
+"""Sparse-ish feature extraction for the non-neural baselines.
+
+Mintz, MultiR and MIMLRE pre-date neural encoders; they classify with
+hand-crafted lexical features.  Here every sentence is represented by a
+bag-of-words vector over the vocabulary plus entity-type indicator features,
+which captures the lexical trigger words the synthetic templates contain —
+the same level of signal the original feature sets provide on real text.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..corpus.bags import EncodedBag
+
+
+class BagOfWordsFeaturizer:
+    """Bag-of-words + entity-type features for sentences and whole bags."""
+
+    def __init__(self, vocab_size: int, num_types: int = 40) -> None:
+        if vocab_size < 2:
+            raise ValueError("vocab_size must be at least 2")
+        self.vocab_size = vocab_size
+        self.num_types = num_types
+
+    @property
+    def dim(self) -> int:
+        # Word counts + head type indicators + tail type indicators + bias.
+        return self.vocab_size + 2 * self.num_types + 1
+
+    # ------------------------------------------------------------------ #
+    # Sentence / bag featurisation
+    # ------------------------------------------------------------------ #
+    def sentence_features(self, bag: EncodedBag, sentence_index: int) -> np.ndarray:
+        """Feature vector of one sentence of a bag."""
+        features = np.zeros(self.dim)
+        token_ids = bag.token_ids[sentence_index][bag.mask[sentence_index]]
+        counts = np.bincount(token_ids, minlength=self.vocab_size)[: self.vocab_size]
+        features[: self.vocab_size] = np.log1p(counts)
+        self._add_type_features(features, bag)
+        features[-1] = 1.0  # bias
+        return features
+
+    def bag_features(self, bag: EncodedBag) -> np.ndarray:
+        """Feature vector of a whole bag (sum of token counts over sentences)."""
+        features = np.zeros(self.dim)
+        token_ids = bag.token_ids[bag.mask]
+        counts = np.bincount(token_ids, minlength=self.vocab_size)[: self.vocab_size]
+        features[: self.vocab_size] = np.log1p(counts)
+        self._add_type_features(features, bag)
+        features[-1] = 1.0
+        return features
+
+    def sentence_matrix(self, bag: EncodedBag) -> np.ndarray:
+        """Feature matrix of every sentence in a bag: (num_sentences, dim)."""
+        return np.stack(
+            [self.sentence_features(bag, index) for index in range(bag.num_sentences)]
+        )
+
+    def _add_type_features(self, features: np.ndarray, bag: EncodedBag) -> None:
+        base = self.vocab_size
+        for type_id in np.asarray(bag.head_type_ids).ravel():
+            if 0 <= int(type_id) < self.num_types:
+                features[base + int(type_id)] = 1.0
+        base = self.vocab_size + self.num_types
+        for type_id in np.asarray(bag.tail_type_ids).ravel():
+            if 0 <= int(type_id) < self.num_types:
+                features[base + int(type_id)] = 1.0
+
+
+def softmax_rows(logits: np.ndarray) -> np.ndarray:
+    """Row-wise numerically stable softmax for plain numpy classifiers."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class SoftmaxRegression:
+    """Multi-class logistic regression trained by mini-batch gradient descent."""
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        learning_rate: float = 0.5,
+        l2: float = 1e-4,
+        epochs: int = 30,
+        batch_size: int = 64,
+        seed: int = 0,
+    ) -> None:
+        self.num_features = num_features
+        self.num_classes = num_classes
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self._rng = np.random.default_rng(seed)
+        self.weights = np.zeros((num_features, num_classes))
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "SoftmaxRegression":
+        """Fit on a dense feature matrix and integer labels."""
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=np.int64)
+        n = features.shape[0]
+        if sample_weight is None:
+            sample_weight = np.ones(n)
+        for _ in range(self.epochs):
+            order = self._rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start:start + self.batch_size]
+                x = features[batch]
+                y = labels[batch]
+                w = sample_weight[batch][:, None]
+                probs = softmax_rows(x @ self.weights)
+                probs[np.arange(len(batch)), y] -= 1.0
+                gradient = x.T @ (probs * w) / len(batch) + self.l2 * self.weights
+                self.weights -= self.learning_rate * gradient
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class probabilities for a feature matrix or a single vector."""
+        features = np.asarray(features, dtype=float)
+        single = features.ndim == 1
+        if single:
+            features = features[None, :]
+        probs = softmax_rows(features @ self.weights)
+        return probs[0] if single else probs

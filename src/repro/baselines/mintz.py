@@ -1,0 +1,55 @@
+"""Mintz et al. (2009): distant supervision with a multi-class logistic classifier.
+
+The original model aggregates lexical and syntactic features of *all*
+sentences mentioning an entity pair into one feature vector and trains a
+multi-class logistic regression.  Our features are bag-of-words counts plus
+entity-type indicators (see :mod:`repro.baselines.features`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..corpus.bags import EncodedBag
+from .api import RelationExtractionMethod
+from .features import BagOfWordsFeaturizer, SoftmaxRegression
+
+
+class MintzMethod(RelationExtractionMethod):
+    """Bag-level multi-class logistic regression baseline."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        num_relations: int,
+        learning_rate: float = 0.5,
+        epochs: int = 30,
+        l2: float = 1e-4,
+        na_weight: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        super().__init__("Mintz", num_relations)
+        self.featurizer = BagOfWordsFeaturizer(vocab_size)
+        self.na_weight = na_weight
+        self.classifier = SoftmaxRegression(
+            num_features=self.featurizer.dim,
+            num_classes=num_relations,
+            learning_rate=learning_rate,
+            epochs=epochs,
+            l2=l2,
+            seed=seed,
+        )
+
+    def fit(self, train_bags: Sequence[EncodedBag]) -> "MintzMethod":
+        features = np.stack([self.featurizer.bag_features(bag) for bag in train_bags])
+        labels = np.array([bag.label for bag in train_bags], dtype=np.int64)
+        weights = np.where(labels == 0, self.na_weight, 1.0)
+        self.classifier.fit(features, labels, sample_weight=weights)
+        self._fitted = True
+        return self
+
+    def predict_probabilities(self, bag: EncodedBag) -> np.ndarray:
+        self._check_fitted()
+        return self.classifier.predict_proba(self.featurizer.bag_features(bag))

@@ -1,0 +1,96 @@
+"""MultiR (Hoffmann et al., 2011): multi-instance learning baseline.
+
+MultiR treats the sentence-level labels as latent: at least one sentence of a
+positive bag expresses the bag relation, the others may not.  We reproduce
+that behaviour with hard-EM over a sentence-level softmax classifier:
+
+1. initialise by labelling every sentence with its bag label;
+2. E-step: for each positive bag, pick the sentence the current classifier
+   scores highest for the bag relation and assign it the bag label; all other
+   sentences of the bag are treated as NA;
+3. M-step: refit the sentence classifier;
+4. iterate.
+
+Prediction aggregates sentence scores with a max over sentences (the
+"at-least-one" decision rule of the original model).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..corpus.bags import EncodedBag
+from .api import RelationExtractionMethod
+from .features import BagOfWordsFeaturizer, SoftmaxRegression
+
+
+class MultiRMethod(RelationExtractionMethod):
+    """Hard-EM multi-instance baseline with at-least-one aggregation."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        num_relations: int,
+        em_rounds: int = 3,
+        epochs_per_round: int = 10,
+        learning_rate: float = 0.5,
+        na_weight: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        super().__init__("MultiR", num_relations)
+        if em_rounds < 1:
+            raise ValueError("em_rounds must be at least 1")
+        self.featurizer = BagOfWordsFeaturizer(vocab_size)
+        self.em_rounds = em_rounds
+        self.epochs_per_round = epochs_per_round
+        self.learning_rate = learning_rate
+        self.na_weight = na_weight
+        self.seed = seed
+        self.classifier: Optional[SoftmaxRegression] = None
+
+    # ------------------------------------------------------------------ #
+    # Training (hard EM)
+    # ------------------------------------------------------------------ #
+    def fit(self, train_bags: Sequence[EncodedBag]) -> "MultiRMethod":
+        sentence_features = [self.featurizer.sentence_matrix(bag) for bag in train_bags]
+        # Initial assignment: every sentence inherits the bag label.
+        assignments = [
+            np.full(bag.num_sentences, bag.label, dtype=np.int64) for bag in train_bags
+        ]
+        for round_index in range(self.em_rounds):
+            features = np.concatenate(sentence_features, axis=0)
+            labels = np.concatenate(assignments)
+            weights = np.where(labels == 0, self.na_weight, 1.0)
+            self.classifier = SoftmaxRegression(
+                num_features=self.featurizer.dim,
+                num_classes=self.num_relations,
+                learning_rate=self.learning_rate,
+                epochs=self.epochs_per_round,
+                seed=self.seed + round_index,
+            ).fit(features, labels, sample_weight=weights)
+            if round_index == self.em_rounds - 1:
+                break
+            # E-step: re-assign sentence labels under the at-least-one constraint.
+            for bag, matrix, assignment in zip(train_bags, sentence_features, assignments):
+                if bag.label == 0:
+                    assignment[:] = 0
+                    continue
+                scores = self.classifier.predict_proba(matrix)[:, bag.label]
+                best = int(np.argmax(scores))
+                assignment[:] = 0
+                assignment[best] = bag.label
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Prediction (at-least-one aggregation)
+    # ------------------------------------------------------------------ #
+    def predict_probabilities(self, bag: EncodedBag) -> np.ndarray:
+        self._check_fitted()
+        assert self.classifier is not None
+        sentence_probs = self.classifier.predict_proba(self.featurizer.sentence_matrix(bag))
+        aggregated = sentence_probs.max(axis=0)
+        total = aggregated.sum()
+        return aggregated / total if total > 0 else np.full(self.num_relations, 1.0 / self.num_relations)

@@ -1,0 +1,154 @@
+"""Registry of every method evaluated in the paper's experiments.
+
+``build_method`` constructs any baseline or proposed variant by name:
+
+* feature-based baselines: ``mintz``, ``multir``, ``mimlre``;
+* neural baselines: ``cnn``, ``cnn_att``, ``pcnn``, ``pcnn_att``, ``gru_att``,
+  ``bgwa``, ``cnn_rl``;
+* proposed variants: ``pa_t``, ``pa_mr``, ``pa_tmr``;
+* flexibility variants (Figure 5): any neural base followed by ``+t``,
+  ``+mr`` or ``+tmr``, e.g. ``gru_att+tmr`` or ``cnn_att+mr``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import ModelConfig, TrainingConfig
+from ..core.variants import BASE_MODEL_NAMES, build_model
+from ..exceptions import ConfigurationError
+from ..graph.embeddings import EntityEmbeddings
+from ..kb.knowledge_base import KnowledgeBase
+from .api import NeuralMethod, RelationExtractionMethod
+from .cnn_rl import CNNRLMethod
+from .mimlre import MIMLREMethod
+from .mintz import MintzMethod
+from .multir import MultiRMethod
+
+FEATURE_METHODS = ("mintz", "multir", "mimlre")
+PROPOSED_METHODS = ("pa_t", "pa_mr", "pa_tmr")
+
+# Display names matching the paper's tables and figures.
+DISPLAY_NAMES = {
+    "mintz": "Mintz",
+    "multir": "MultiR",
+    "mimlre": "MIMLRE",
+    "cnn": "CNN",
+    "cnn_att": "CNN+ATT",
+    "pcnn": "PCNN",
+    "pcnn_att": "PCNN+ATT",
+    "gru_att": "GRU+ATT",
+    "bgwa": "BGWA",
+    "cnn_rl": "CNN+RL",
+    "pa_t": "PA-T",
+    "pa_mr": "PA-MR",
+    "pa_tmr": "PA-TMR",
+}
+
+
+def available_methods() -> List[str]:
+    """Names accepted by :func:`build_method` (excluding +t/+mr/+tmr combinations)."""
+    return sorted(
+        list(FEATURE_METHODS) + list(BASE_MODEL_NAMES) + ["cnn_rl"] + list(PROPOSED_METHODS)
+    )
+
+
+def display_name(name: str) -> str:
+    """Human-readable method name used in reports."""
+    if name in DISPLAY_NAMES:
+        return DISPLAY_NAMES[name]
+    if "+" in name:
+        base, suffix = name.split("+", 1)
+        return f"{DISPLAY_NAMES.get(base, base.upper())} (+{suffix.upper()})"
+    return name.upper()
+
+
+def _parse_augmented_name(name: str) -> Optional[tuple]:
+    """Split names like ``gru_att+tmr`` into (base, use_types, use_mr)."""
+    if "+" not in name:
+        return None
+    base, suffix = name.split("+", 1)
+    if base not in BASE_MODEL_NAMES:
+        raise ConfigurationError(f"unknown base model '{base}' in '{name}'")
+    suffix = suffix.lower()
+    if suffix == "t":
+        return base, True, False
+    if suffix == "mr":
+        return base, False, True
+    if suffix == "tmr":
+        return base, True, True
+    raise ConfigurationError(f"unknown augmentation '+{suffix}' in '{name}'")
+
+
+def build_method(
+    name: str,
+    vocab_size: int,
+    num_relations: int,
+    model_config: Optional[ModelConfig] = None,
+    training_config: Optional[TrainingConfig] = None,
+    kb: Optional[KnowledgeBase] = None,
+    entity_embeddings: Optional[EntityEmbeddings] = None,
+    seed: int = 0,
+) -> RelationExtractionMethod:
+    """Build a ready-to-fit method by its (lower-case) name."""
+    name = name.lower()
+    model_config = model_config or ModelConfig.paper_defaults()
+    training_config = training_config or TrainingConfig(seed=seed)
+    rng = np.random.default_rng(seed)
+
+    if name == "mintz":
+        return MintzMethod(vocab_size, num_relations, seed=seed)
+    if name == "multir":
+        return MultiRMethod(vocab_size, num_relations, seed=seed)
+    if name == "mimlre":
+        return MIMLREMethod(vocab_size, num_relations, seed=seed)
+    if name == "cnn_rl":
+        return CNNRLMethod(
+            vocab_size,
+            num_relations,
+            model_config=model_config,
+            training_config=training_config,
+            seed=seed,
+        )
+
+    # Proposed variants are PCNN+ATT bases with the corresponding heads.
+    if name in PROPOSED_METHODS:
+        use_types = name in ("pa_t", "pa_tmr")
+        use_mr = name in ("pa_mr", "pa_tmr")
+        base = "pcnn_att"
+    else:
+        augmented = _parse_augmented_name(name)
+        if augmented is not None:
+            base, use_types, use_mr = augmented
+        elif name in BASE_MODEL_NAMES:
+            base, use_types, use_mr = name, False, False
+        else:
+            raise ConfigurationError(
+                f"unknown method '{name}'; available: {available_methods()}"
+            )
+
+    if use_mr and (kb is None or entity_embeddings is None):
+        raise ConfigurationError(
+            f"method '{name}' needs a knowledge base and entity embeddings "
+            "(the implicit-mutual-relation component)"
+        )
+    model = build_model(
+        base,
+        vocab_size=vocab_size,
+        num_relations=num_relations,
+        config=model_config,
+        use_types=use_types,
+        use_mutual_relations=use_mr,
+        kb=kb,
+        entity_embeddings=entity_embeddings,
+        rng=rng,
+    )
+    return NeuralMethod(
+        display_name(name),
+        model,
+        num_relations=num_relations,
+        training_config=training_config,
+        rng=rng,
+    )

@@ -1,0 +1,44 @@
+"""The paper's core contribution: implicit mutual relations + entity types
+integrated into neural relation extraction.
+
+Public entry points:
+
+* :class:`BagRelationClassifier` — any of the base neural RE models
+  (CNN/PCNN/GRU encoders, with or without selective attention).
+* :class:`MutualRelationHead` — confidence scores from the implicit mutual
+  relation ``MR_ij = U_j - U_i`` of the entity pair.
+* :class:`EntityTypeHead` — confidence scores from coarse entity types.
+* :class:`NeuralREModel` — the unified framework combining the three
+  confidence sources (PA-TMR and its ablations PA-T / PA-MR).
+* :mod:`repro.core.variants` — factory functions for every named model in the
+  paper's experiments.
+"""
+
+from .classifier import BagRelationClassifier
+from .entity_type import EntityTypeHead
+from .mutual_relation import MutualRelationHead, build_entity_vector_table
+from .combination import ConfidenceCombiner
+from .model import NeuralREModel
+from .variants import (
+    BASE_MODEL_NAMES,
+    build_base_classifier,
+    build_model,
+    build_pa_mr,
+    build_pa_t,
+    build_pa_tmr,
+)
+
+__all__ = [
+    "BagRelationClassifier",
+    "EntityTypeHead",
+    "MutualRelationHead",
+    "build_entity_vector_table",
+    "ConfidenceCombiner",
+    "NeuralREModel",
+    "BASE_MODEL_NAMES",
+    "build_base_classifier",
+    "build_model",
+    "build_pa_t",
+    "build_pa_mr",
+    "build_pa_tmr",
+]

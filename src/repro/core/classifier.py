@@ -1,0 +1,126 @@
+"""The base neural relation-extraction model (sentence encoder + bag aggregation).
+
+This is the "original RE model" of the paper's framework: a word/position
+embedder, a sentence encoder (CNN, PCNN or GRU), dropout, and a bag-level
+aggregator that is either selective attention (``+ATT`` models) or average
+pooling.  The implicit-mutual-relation and entity-type heads are attached on
+top of it by :class:`repro.core.model.NeuralREModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..config import ModelConfig
+from ..corpus.bags import EncodedBag
+from ..encoders.attention import AverageBagAggregator, SelectiveAttentionAggregator
+from ..encoders.base import WordPositionEmbedder
+from ..encoders.cnn import CNNEncoder
+from ..encoders.gru import GRUEncoder
+from ..encoders.pcnn import PCNNEncoder
+from ..exceptions import ConfigurationError
+from ..nn.tensor import Tensor
+from ..text.position import num_position_ids
+
+ENCODER_TYPES = ("cnn", "pcnn", "gru")
+
+
+class BagRelationClassifier(nn.Module):
+    """Bag-level relation classifier over distant-supervision bags.
+
+    Parameters
+    ----------
+    vocab_size:
+        Size of the word vocabulary.
+    num_relations:
+        Number of relation classes including NA.
+    config:
+        Model hyper-parameters (Table III).
+    encoder_type:
+        ``"cnn"``, ``"pcnn"`` or ``"gru"``.
+    attention:
+        Use selective sentence-level attention (``True``) or average pooling.
+    word_attention:
+        For the GRU encoder only: add BGWA-style word-level attention.
+    rng:
+        Generator used for parameter initialisation and dropout masks.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        num_relations: int,
+        config: Optional[ModelConfig] = None,
+        encoder_type: str = "pcnn",
+        attention: bool = True,
+        word_attention: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if encoder_type not in ENCODER_TYPES:
+            raise ConfigurationError(
+                f"unknown encoder type '{encoder_type}' (expected one of {ENCODER_TYPES})"
+            )
+        self.config = config or ModelConfig.paper_defaults()
+        self.config.validate()
+        self.encoder_type = encoder_type
+        self.uses_attention = attention
+        self.num_relations = num_relations
+        rng = rng or np.random.default_rng()
+
+        self.embedder = WordPositionEmbedder(
+            vocab_size=vocab_size,
+            word_dim=self.config.word_embedding_dim,
+            position_dim=self.config.position_embedding_dim,
+            num_position_ids=num_position_ids(self.config.max_position_distance),
+            rng=rng,
+        )
+        input_dim = self.embedder.output_dim
+        if encoder_type == "cnn":
+            self.encoder = CNNEncoder(
+                input_dim, self.config.num_filters, self.config.window_size, rng=rng
+            )
+        elif encoder_type == "pcnn":
+            self.encoder = PCNNEncoder(
+                input_dim, self.config.num_filters, self.config.window_size, rng=rng
+            )
+        else:
+            self.encoder = GRUEncoder(
+                input_dim,
+                hidden_dim=self.config.gru_hidden_dim,
+                word_attention=word_attention,
+                rng=rng,
+            )
+        self.dropout = nn.Dropout(self.config.dropout, rng=rng)
+        sentence_dim = self.encoder.output_dim
+        if attention:
+            self.aggregator = SelectiveAttentionAggregator(sentence_dim, num_relations, rng=rng)
+        else:
+            self.aggregator = AverageBagAggregator(sentence_dim, num_relations, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    # Forward passes
+    # ------------------------------------------------------------------ #
+    def sentence_representations(self, bag: EncodedBag) -> Tensor:
+        """Encode every sentence of a bag into a vector."""
+        embedded = self.embedder(bag)
+        representations = self.encoder(embedded, bag)
+        return self.dropout(representations)
+
+    def forward(self, bag: EncodedBag, relation_id: Optional[int] = None) -> Tensor:
+        """Relation logits of one bag.
+
+        ``relation_id`` supplies the gold label during training so selective
+        attention can attend with the correct query (Lin et al., 2016); leave
+        it ``None`` at prediction time.
+        """
+        representations = self.sentence_representations(bag)
+        return self.aggregator(representations, relation_id)
+
+    def describe(self) -> str:
+        """Short human-readable description used in experiment reports."""
+        attention = "ATT" if self.uses_attention else "AVG"
+        return f"{self.encoder_type.upper()}+{attention}"

@@ -1,0 +1,59 @@
+"""Entity-type confidence head.
+
+Entity types constrain which relations are possible: ``place_of_birth`` can
+only hold between a *person* and a *location*.  Following the paper, each of
+the 38 coarse FIGER types is embedded into a ``kt``-dimensional space, an
+entity with multiple types averages its type embeddings, and the concatenated
+(head, tail) type representation is mapped through a fully connected layer to
+a confidence score per relation:
+
+.. math::
+
+    T_{i,j} = \\mathrm{Concat}(Type_i, Type_j), \\qquad
+    C^T_{i,j} = \\mathrm{Softmax}(W_T T_{i,j} + b_T)
+
+The head returns raw logits; the softmax is applied by the combination layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..corpus.bags import EncodedBag
+from ..nn.tensor import Tensor
+
+
+class EntityTypeHead(nn.Module):
+    """Confidence scores per relation derived from coarse entity types."""
+
+    def __init__(
+        self,
+        num_types: int,
+        num_relations: int,
+        type_embedding_dim: int = 20,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.num_types = num_types
+        self.num_relations = num_relations
+        self.type_embedding_dim = type_embedding_dim
+        self.type_embedding = nn.Embedding(num_types, type_embedding_dim, rng=rng)
+        self.classifier = nn.Linear(2 * type_embedding_dim, num_relations, rng=rng)
+
+    def _entity_type_vector(self, type_ids: np.ndarray) -> Tensor:
+        """Average the embeddings of an entity's types (paper Section III-B)."""
+        embedded = self.type_embedding(np.asarray(type_ids, dtype=np.int64))
+        return embedded.mean(axis=0)
+
+    def pair_representation(self, bag: EncodedBag) -> Tensor:
+        """Concatenated type representation ``T_{i,j}`` of the bag's pair."""
+        head_vector = self._entity_type_vector(bag.head_type_ids)
+        tail_vector = self._entity_type_vector(bag.tail_type_ids)
+        return nn.concatenate([head_vector, tail_vector], axis=0)
+
+    def forward(self, bag: EncodedBag) -> Tensor:
+        """Relation logits (apply softmax downstream to obtain ``C^T``)."""
+        return self.classifier(self.pair_representation(bag))

@@ -1,0 +1,83 @@
+"""Implicit-mutual-relation confidence head.
+
+The entity embeddings learned on the proximity graph place semantically
+similar entities close together; the *implicit mutual relation* of a pair is
+the difference of the two entity vectors:
+
+.. math::
+
+    MR_{i,j} = U_j - U_i, \\qquad
+    C^{MR}_{i,j} = \\mathrm{Softmax}(W_{MR} MR_{i,j} + b_{MR})
+
+Pairs with similar mutual-relation vectors tend to share the same relation
+(the (Stanford University, California) / (University of Washington, Seattle)
+example), so a single fully connected layer on top of ``MR`` already carries
+useful signal for pairs with few or noisy training sentences.
+
+The entity vectors themselves are *frozen*: they come from the unsupervised
+LINE stage and are not fine-tuned by the RE objective, exactly as in the
+paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..corpus.bags import EncodedBag
+from ..exceptions import ConfigurationError
+from ..graph.embeddings import EntityEmbeddings
+from ..kb.knowledge_base import KnowledgeBase
+from ..nn.tensor import Tensor
+
+
+def build_entity_vector_table(kb: KnowledgeBase, embeddings: EntityEmbeddings) -> np.ndarray:
+    """Entity-id indexed matrix of proximity-graph embeddings.
+
+    Entities that never occur in the unlabeled corpus (and therefore have no
+    vertex in the proximity graph) receive a zero vector — the failure mode
+    the paper's future-work section attributes to low-degree vertices.
+    """
+    table = np.zeros((kb.num_entities, embeddings.dim))
+    for entity in kb.entities:
+        table[entity.entity_id] = embeddings.vector(entity.name)
+    return table
+
+
+class MutualRelationHead(nn.Module):
+    """Confidence scores per relation derived from ``MR_{i,j} = U_j - U_i``."""
+
+    def __init__(
+        self,
+        entity_vectors: np.ndarray,
+        num_relations: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        entity_vectors = np.asarray(entity_vectors, dtype=np.float64)
+        if entity_vectors.ndim != 2:
+            raise ConfigurationError("entity_vectors must be (num_entities, dim)")
+        self.num_relations = num_relations
+        self.embedding_dim = int(entity_vectors.shape[1])
+        # Frozen, non-parameter buffer: the LINE embeddings are not fine-tuned.
+        self._entity_vectors = entity_vectors
+        self.classifier = nn.Linear(self.embedding_dim, num_relations, rng=rng)
+
+    @property
+    def num_entities(self) -> int:
+        return int(self._entity_vectors.shape[0])
+
+    def mutual_relation_vector(self, head_entity_id: int, tail_entity_id: int) -> np.ndarray:
+        """``MR = U_tail - U_head`` as a plain numpy vector."""
+        if not 0 <= head_entity_id < self.num_entities:
+            raise ConfigurationError(f"head entity id {head_entity_id} out of range")
+        if not 0 <= tail_entity_id < self.num_entities:
+            raise ConfigurationError(f"tail entity id {tail_entity_id} out of range")
+        return self._entity_vectors[tail_entity_id] - self._entity_vectors[head_entity_id]
+
+    def forward(self, bag: EncodedBag) -> Tensor:
+        """Relation logits (apply softmax downstream to obtain ``C^{MR}``)."""
+        mr = self.mutual_relation_vector(bag.head_entity_id, bag.tail_entity_id)
+        return self.classifier(nn.tensor(mr))

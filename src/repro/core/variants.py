@@ -1,0 +1,164 @@
+"""Factory functions for every named model in the paper's experiments.
+
+The evaluation compares the base neural models (PCNN, PCNN+ATT, CNN+ATT,
+GRU+ATT, BGWA) with the proposed PA-T, PA-MR and PA-TMR variants, and
+Figure 5 attaches the entity-information components to each base model.
+These factories build any of those configurations from a dataset bundle and
+pre-trained entity embeddings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..corpus.loader import TypeVocabulary
+from ..exceptions import ConfigurationError
+from ..graph.embeddings import EntityEmbeddings
+from ..kb.knowledge_base import KnowledgeBase
+from .classifier import BagRelationClassifier
+from .entity_type import EntityTypeHead
+from .model import NeuralREModel
+from .mutual_relation import MutualRelationHead, build_entity_vector_table
+
+# Base model name -> (encoder_type, selective attention, word attention)
+BASE_MODEL_NAMES = {
+    "cnn": ("cnn", False, False),
+    "cnn_att": ("cnn", True, False),
+    "pcnn": ("pcnn", False, False),
+    "pcnn_att": ("pcnn", True, False),
+    "gru_att": ("gru", True, False),
+    "bgwa": ("gru", True, True),
+}
+
+
+def build_base_classifier(
+    name: str,
+    vocab_size: int,
+    num_relations: int,
+    config: Optional[ModelConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> BagRelationClassifier:
+    """Build one of the named base models (see :data:`BASE_MODEL_NAMES`)."""
+    if name not in BASE_MODEL_NAMES:
+        raise ConfigurationError(
+            f"unknown base model '{name}' (expected one of {sorted(BASE_MODEL_NAMES)})"
+        )
+    encoder_type, attention, word_attention = BASE_MODEL_NAMES[name]
+    return BagRelationClassifier(
+        vocab_size=vocab_size,
+        num_relations=num_relations,
+        config=config,
+        encoder_type=encoder_type,
+        attention=attention,
+        word_attention=word_attention,
+        rng=rng,
+    )
+
+
+def build_model(
+    base_name: str,
+    vocab_size: int,
+    num_relations: int,
+    config: Optional[ModelConfig] = None,
+    use_types: bool = False,
+    use_mutual_relations: bool = False,
+    kb: Optional[KnowledgeBase] = None,
+    entity_embeddings: Optional[EntityEmbeddings] = None,
+    type_vocabulary: Optional[TypeVocabulary] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> NeuralREModel:
+    """Build a full :class:`NeuralREModel` with the requested components.
+
+    ``use_mutual_relations`` requires both ``kb`` and ``entity_embeddings``
+    (the proximity-graph vectors); ``use_types`` uses the default coarse-type
+    vocabulary unless ``type_vocabulary`` is given.
+    """
+    config = config or ModelConfig.paper_defaults()
+    rng = rng or np.random.default_rng()
+    base = build_base_classifier(base_name, vocab_size, num_relations, config=config, rng=rng)
+
+    type_head: Optional[EntityTypeHead] = None
+    if use_types:
+        types = type_vocabulary or TypeVocabulary()
+        type_head = EntityTypeHead(
+            num_types=len(types),
+            num_relations=num_relations,
+            type_embedding_dim=config.type_embedding_dim,
+            rng=rng,
+        )
+
+    mr_head: Optional[MutualRelationHead] = None
+    if use_mutual_relations:
+        if kb is None or entity_embeddings is None:
+            raise ConfigurationError(
+                "use_mutual_relations requires a knowledge base and entity embeddings"
+            )
+        vectors = build_entity_vector_table(kb, entity_embeddings)
+        mr_head = MutualRelationHead(vectors, num_relations=num_relations, rng=rng)
+
+    return NeuralREModel(base, type_head=type_head, mutual_relation_head=mr_head)
+
+
+def build_pa_tmr(
+    vocab_size: int,
+    num_relations: int,
+    kb: KnowledgeBase,
+    entity_embeddings: EntityEmbeddings,
+    config: Optional[ModelConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> NeuralREModel:
+    """PA-TMR: PCNN+ATT with both entity types and implicit mutual relations."""
+    return build_model(
+        "pcnn_att",
+        vocab_size,
+        num_relations,
+        config=config,
+        use_types=True,
+        use_mutual_relations=True,
+        kb=kb,
+        entity_embeddings=entity_embeddings,
+        rng=rng,
+    )
+
+
+def build_pa_t(
+    vocab_size: int,
+    num_relations: int,
+    config: Optional[ModelConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> NeuralREModel:
+    """PA-T: PCNN+ATT with the entity-type head only."""
+    return build_model(
+        "pcnn_att",
+        vocab_size,
+        num_relations,
+        config=config,
+        use_types=True,
+        use_mutual_relations=False,
+        rng=rng,
+    )
+
+
+def build_pa_mr(
+    vocab_size: int,
+    num_relations: int,
+    kb: KnowledgeBase,
+    entity_embeddings: EntityEmbeddings,
+    config: Optional[ModelConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> NeuralREModel:
+    """PA-MR: PCNN+ATT with the implicit-mutual-relation head only."""
+    return build_model(
+        "pcnn_att",
+        vocab_size,
+        num_relations,
+        config=config,
+        use_types=False,
+        use_mutual_relations=True,
+        kb=kb,
+        entity_embeddings=entity_embeddings,
+        rng=rng,
+    )

@@ -1,0 +1,38 @@
+"""Corpus substrate: synthetic distant-supervision datasets and unlabeled text.
+
+This package replaces the NYT / GDS corpora and the Wikipedia dump used by
+the paper with synthetic equivalents generated from a
+:class:`repro.kb.KnowledgeBase`; see DESIGN.md for the substitution argument.
+"""
+
+from .bags import Bag, EncodedBag, RelationExtractionDataset, SentenceExample
+from .templates import TemplateLibrary, NOISE_TEMPLATES
+from .distant_supervision import DistantSupervisionSampler
+from .unlabeled import UnlabeledCorpusGenerator, UnlabeledSentence
+from .datasets import (
+    DatasetBundle,
+    build_synth_gds,
+    build_synth_nyt,
+    dataset_statistics,
+    pair_frequency_histogram,
+)
+from .loader import BagEncoder, BatchIterator
+
+__all__ = [
+    "SentenceExample",
+    "Bag",
+    "EncodedBag",
+    "RelationExtractionDataset",
+    "TemplateLibrary",
+    "NOISE_TEMPLATES",
+    "DistantSupervisionSampler",
+    "UnlabeledCorpusGenerator",
+    "UnlabeledSentence",
+    "DatasetBundle",
+    "build_synth_nyt",
+    "build_synth_gds",
+    "dataset_statistics",
+    "pair_frequency_histogram",
+    "BagEncoder",
+    "BatchIterator",
+]

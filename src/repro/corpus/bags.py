@@ -1,0 +1,209 @@
+"""Dataset structures for bag-level distant supervision.
+
+Distant supervision groups all sentences that mention the same (head, tail)
+entity pair into a *bag*; the bag inherits the relation(s) the knowledge base
+asserts for the pair.  Models are trained and evaluated at the bag level,
+exactly as in the paper (and in OpenNRE-style pipelines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..exceptions import DataError
+from ..kb.schema import RelationSchema
+from ..text.vocab import Vocabulary
+
+
+@dataclass
+class SentenceExample:
+    """One sentence mentioning the bag's entity pair.
+
+    ``expresses_relation`` records whether the generating template actually
+    expresses the bag relation; it is metadata used for diagnostics only and
+    is never shown to the models (real corpora do not have this flag).
+    """
+
+    tokens: List[str]
+    head_position: int
+    tail_position: int
+    expresses_relation: bool = True
+
+    def __post_init__(self) -> None:
+        length = len(self.tokens)
+        if length == 0:
+            raise DataError("sentence must contain at least one token")
+        if not 0 <= self.head_position < length or not 0 <= self.tail_position < length:
+            raise DataError(
+                f"entity positions ({self.head_position}, {self.tail_position}) "
+                f"outside sentence of length {length}"
+            )
+
+    @property
+    def length(self) -> int:
+        return len(self.tokens)
+
+    @property
+    def head_token(self) -> str:
+        return self.tokens[self.head_position]
+
+    @property
+    def tail_token(self) -> str:
+        return self.tokens[self.tail_position]
+
+
+@dataclass
+class Bag:
+    """All training sentences for one (head, tail) entity pair."""
+
+    head_id: int
+    tail_id: int
+    head_name: str
+    tail_name: str
+    head_types: Tuple[str, ...]
+    tail_types: Tuple[str, ...]
+    relation_ids: Set[int]
+    sentences: List[SentenceExample] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.relation_ids:
+            raise DataError("a bag must carry at least one relation label (possibly NA)")
+
+    @property
+    def pair(self) -> Tuple[int, int]:
+        return (self.head_id, self.tail_id)
+
+    @property
+    def num_sentences(self) -> int:
+        return len(self.sentences)
+
+    @property
+    def primary_relation(self) -> int:
+        """The single training label: the smallest positive relation id, else NA.
+
+        Multi-label bags are rare in the synthetic corpora; following common
+        practice the bag-level classifier trains on one label while held-out
+        evaluation scores every asserted relation.
+        """
+        positives = sorted(r for r in self.relation_ids if r != 0)
+        return positives[0] if positives else 0
+
+    def is_na(self) -> bool:
+        return self.primary_relation == 0
+
+    def noise_fraction(self) -> float:
+        """Fraction of sentences that do not express the bag relation."""
+        if not self.sentences:
+            return 0.0
+        noisy = sum(1 for s in self.sentences if not s.expresses_relation)
+        return noisy / len(self.sentences)
+
+
+@dataclass
+class EncodedBag:
+    """A bag converted into numpy arrays consumable by the neural models."""
+
+    token_ids: np.ndarray        # (num_sentences, max_length) int64
+    head_position_ids: np.ndarray  # (num_sentences, max_length) int64
+    tail_position_ids: np.ndarray  # (num_sentences, max_length) int64
+    segment_ids: np.ndarray      # (num_sentences, max_length) int64, -1 on padding
+    mask: np.ndarray             # (num_sentences, max_length) bool
+    label: int
+    relation_ids: Tuple[int, ...]
+    head_entity_id: int
+    tail_entity_id: int
+    head_type_ids: np.ndarray    # (num_head_types,) int64
+    tail_type_ids: np.ndarray    # (num_tail_types,) int64
+
+    @property
+    def num_sentences(self) -> int:
+        return int(self.token_ids.shape[0])
+
+    @property
+    def max_length(self) -> int:
+        return int(self.token_ids.shape[1])
+
+
+class RelationExtractionDataset:
+    """A split (train or test) of bags plus the shared vocabulary and schema."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: RelationSchema,
+        vocabulary: Vocabulary,
+        bags: Sequence[Bag],
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self.vocabulary = vocabulary
+        self.bags: List[Bag] = list(bags)
+
+    # ------------------------------------------------------------------ #
+    # Basic stats
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.bags)
+
+    def __iter__(self) -> Iterator[Bag]:
+        return iter(self.bags)
+
+    def __getitem__(self, index: int) -> Bag:
+        return self.bags[index]
+
+    @property
+    def num_sentences(self) -> int:
+        return sum(bag.num_sentences for bag in self.bags)
+
+    @property
+    def num_entity_pairs(self) -> int:
+        return len({bag.pair for bag in self.bags})
+
+    def relation_counts(self) -> Dict[int, int]:
+        """Number of bags whose primary relation is each relation id."""
+        counts: Dict[int, int] = {}
+        for bag in self.bags:
+            counts[bag.primary_relation] = counts.get(bag.primary_relation, 0) + 1
+        return counts
+
+    def positive_bags(self) -> List[Bag]:
+        """Bags whose primary relation is not NA."""
+        return [bag for bag in self.bags if not bag.is_na()]
+
+    def sentence_count_histogram(self, edges: Sequence[int] = (1, 2, 3, 5, 10, 20)) -> Dict[str, int]:
+        """Histogram of per-bag sentence counts (paper Figure 1 uses this shape)."""
+        labels = _bucket_labels(edges)
+        histogram = {label: 0 for label in labels}
+        for bag in self.bags:
+            histogram[_bucket_for(bag.num_sentences, edges)] += 1
+        return histogram
+
+    def filter_by_sentence_count(self, low: int, high: Optional[int] = None) -> "RelationExtractionDataset":
+        """Return a new dataset keeping bags with sentence counts in [low, high]."""
+        kept = [
+            bag
+            for bag in self.bags
+            if bag.num_sentences >= low and (high is None or bag.num_sentences <= high)
+        ]
+        return RelationExtractionDataset(self.name, self.schema, self.vocabulary, kept)
+
+
+def _bucket_labels(edges: Sequence[int]) -> List[str]:
+    labels = []
+    for low, high in zip(edges[:-1], edges[1:]):
+        if high - low == 1:
+            labels.append(f"{low}")
+        else:
+            labels.append(f"{low}-{high - 1}")
+    labels.append(f">={edges[-1]}")
+    return labels
+
+
+def _bucket_for(value: int, edges: Sequence[int]) -> str:
+    for low, high in zip(edges[:-1], edges[1:]):
+        if low <= value < high:
+            return f"{low}" if high - low == 1 else f"{low}-{high - 1}"
+    return f">={edges[-1]}"

@@ -1,0 +1,212 @@
+"""End-to-end builders for the synthetic NYT-like and GDS-like datasets.
+
+:func:`build_synth_nyt` and :func:`build_synth_gds` assemble everything an
+experiment needs: the knowledge base, the distant-supervision train/test
+splits, the vocabulary, the unlabeled corpus and its entity co-occurrence
+counts.  The two dataset profiles mirror the contrast the paper draws in
+Table II: SynthNYT is larger, has 53 relations and is more NA-dominated;
+SynthGDS is small with 5 relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import ScaleProfile
+from ..kb.generator import KnowledgeBaseGenerator
+from ..kb.knowledge_base import KnowledgeBase
+from ..kb.schema import RelationSchema, gds_schema, nyt_schema
+from ..text.vocab import Vocabulary
+from ..utils.rng import SeedSequenceFactory
+from .bags import Bag, RelationExtractionDataset
+from .distant_supervision import DistantSupervisionSampler
+from .templates import TemplateLibrary
+from .unlabeled import UnlabeledCorpusGenerator, UnlabeledSentence
+
+
+@dataclass
+class DatasetBundle:
+    """Everything produced for one synthetic dataset."""
+
+    name: str
+    schema: RelationSchema
+    kb: KnowledgeBase
+    train: RelationExtractionDataset
+    test: RelationExtractionDataset
+    vocabulary: Vocabulary
+    unlabeled_sentences: List[UnlabeledSentence] = field(default_factory=list)
+    pair_cooccurrence: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    def cooccurrence_for_pair(self, head_name: str, tail_name: str) -> int:
+        """Unlabeled-corpus co-occurrence count of an entity pair (0 if absent)."""
+        key = tuple(sorted((head_name, tail_name)))
+        return self.pair_cooccurrence.get(key, 0)
+
+
+def _build_vocabulary(train_bags: Sequence[Bag]) -> Vocabulary:
+    sentences = [sentence.tokens for bag in train_bags for sentence in bag.sentences]
+    return Vocabulary.from_corpus(sentences, min_frequency=1)
+
+
+def _build_bundle(
+    name: str,
+    schema: RelationSchema,
+    num_entities: int,
+    num_entity_pairs: int,
+    na_fraction: float,
+    mean_sentences_per_pair: float,
+    noise_rate: float,
+    unlabeled_mentions_per_pair: float,
+    test_fraction: float,
+    seed: int,
+    include_case_study: bool,
+) -> DatasetBundle:
+    seeds = SeedSequenceFactory(seed)
+    kb_generator = KnowledgeBaseGenerator(
+        schema=schema,
+        num_entities=num_entities,
+        na_fraction=na_fraction,
+        include_case_study=include_case_study,
+        seed=int(seeds.rng("kb").integers(2 ** 31)),
+    )
+    kb = kb_generator.generate(num_entity_pairs)
+    templates = TemplateLibrary(schema)
+
+    ds_sampler = DistantSupervisionSampler(
+        kb=kb,
+        templates=templates,
+        mean_sentences_per_pair=mean_sentences_per_pair,
+        noise_rate=noise_rate,
+        seed=int(seeds.rng("distant_supervision").integers(2 ** 31)),
+    )
+    bags = ds_sampler.sample_bags()
+    train_bags, test_bags = ds_sampler.split_train_test(bags, test_fraction=test_fraction)
+    vocabulary = _build_vocabulary(train_bags)
+
+    unlabeled_generator = UnlabeledCorpusGenerator(
+        kb=kb,
+        templates=templates,
+        mean_mentions_per_pair=unlabeled_mentions_per_pair,
+        seed=int(seeds.rng("unlabeled").integers(2 ** 31)),
+    )
+    unlabeled_sentences = unlabeled_generator.generate()
+    cooccurrence = UnlabeledCorpusGenerator.cooccurrence_counts(unlabeled_sentences)
+
+    return DatasetBundle(
+        name=name,
+        schema=schema,
+        kb=kb,
+        train=RelationExtractionDataset(f"{name}-train", schema, vocabulary, train_bags),
+        test=RelationExtractionDataset(f"{name}-test", schema, vocabulary, test_bags),
+        vocabulary=vocabulary,
+        unlabeled_sentences=unlabeled_sentences,
+        pair_cooccurrence=cooccurrence,
+    )
+
+
+def build_synth_nyt(
+    profile: Optional[ScaleProfile] = None,
+    seed: int = 0,
+    include_case_study: bool = True,
+) -> DatasetBundle:
+    """Build the NYT-like dataset: many relations, NA-dominated, long-tailed."""
+    profile = profile or ScaleProfile.small()
+    schema = nyt_schema(profile.nyt_num_relations)
+    return _build_bundle(
+        name="SynthNYT",
+        schema=schema,
+        num_entities=profile.nyt_num_entities,
+        num_entity_pairs=profile.nyt_num_entity_pairs,
+        na_fraction=0.55,
+        mean_sentences_per_pair=3.5,
+        noise_rate=0.4,
+        unlabeled_mentions_per_pair=profile.unlabeled_sentences_per_pair,
+        test_fraction=0.3,
+        seed=seed,
+        include_case_study=include_case_study,
+    )
+
+
+def build_synth_gds(
+    profile: Optional[ScaleProfile] = None,
+    seed: int = 0,
+) -> DatasetBundle:
+    """Build the GDS-like dataset: 5 relations, smaller and less noisy."""
+    profile = profile or ScaleProfile.small()
+    schema = gds_schema(profile.gds_num_relations)
+    return _build_bundle(
+        name="SynthGDS",
+        schema=schema,
+        num_entities=profile.gds_num_entities,
+        num_entity_pairs=profile.gds_num_entity_pairs,
+        na_fraction=0.35,
+        mean_sentences_per_pair=3.0,
+        noise_rate=0.25,
+        unlabeled_mentions_per_pair=profile.unlabeled_sentences_per_pair,
+        test_fraction=0.3,
+        seed=seed + 1,
+        include_case_study=False,
+    )
+
+
+def dataset_statistics(bundle: DatasetBundle) -> Dict[str, Dict[str, int]]:
+    """Table II style statistics for one dataset bundle."""
+    return {
+        "training": {
+            "sentences": bundle.train.num_sentences,
+            "entity_pairs": bundle.train.num_entity_pairs,
+        },
+        "testing": {
+            "sentences": bundle.test.num_sentences,
+            "entity_pairs": bundle.test.num_entity_pairs,
+        },
+        "relations": {"count": bundle.schema.num_relations},
+        "unlabeled": {
+            "sentences": len(bundle.unlabeled_sentences),
+            "entity_pairs": len(bundle.pair_cooccurrence),
+        },
+    }
+
+
+def pair_frequency_histogram(
+    dataset: RelationExtractionDataset,
+    edges: Sequence[int] = (1, 2, 3, 5, 10, 20, 50),
+) -> Dict[str, int]:
+    """Figure 1 data: number of entity pairs per training-frequency bucket.
+
+    The x-axis buckets are ranges of the per-pair sentence count in the
+    distant-supervision training split; the paper plots the counts in
+    log-scale to show that most pairs have fewer than 10 sentences.
+    """
+    return dataset.sentence_count_histogram(edges=edges)
+
+
+def cooccurrence_quantile_buckets(
+    bundle: DatasetBundle,
+    num_buckets: int = 4,
+) -> Dict[str, List[Tuple[int, int]]]:
+    """Group test entity pairs by unlabeled-corpus co-occurrence quantile.
+
+    Used by the Figure 6 experiment ("quantile of co-occurrence frequencies of
+    entity pairs in Wikipedia").  Returns a mapping from quantile label (e.g.
+    ``"Q1"``) to the list of test pairs in that bucket.
+    """
+    if num_buckets < 2:
+        raise ValueError("num_buckets must be at least 2")
+    pairs = [(bag.head_name, bag.tail_name, bag.pair) for bag in bundle.test]
+    frequencies = np.array(
+        [bundle.cooccurrence_for_pair(head, tail) for head, tail, _ in pairs], dtype=float
+    )
+    if len(frequencies) == 0:
+        return {}
+    quantiles = np.quantile(frequencies, np.linspace(0, 1, num_buckets + 1))
+    buckets: Dict[str, List[Tuple[int, int]]] = {
+        f"Q{i + 1}": [] for i in range(num_buckets)
+    }
+    for (head, tail, pair), frequency in zip(pairs, frequencies):
+        bucket_index = int(np.searchsorted(quantiles[1:-1], frequency, side="right"))
+        buckets[f"Q{bucket_index + 1}"].append(pair)
+    return buckets

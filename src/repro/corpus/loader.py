@@ -1,0 +1,161 @@
+"""Encoding bags into arrays and batching them for training.
+
+The models consume :class:`repro.corpus.bags.EncodedBag` objects: padded
+token-id matrices, relative-position ids, PCNN segment ids and entity/type
+ids.  Encoding is done once up front (the synthetic corpora fit comfortably
+in memory) and batches are simply lists of encoded bags.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import DataError
+from ..kb.schema import COARSE_ENTITY_TYPES
+from ..text.position import relative_positions, segment_ids_for_entities
+from ..text.vocab import Vocabulary
+from .bags import Bag, EncodedBag
+
+
+class TypeVocabulary:
+    """Maps coarse FIGER types to dense ids (id 0 is reserved for 'unknown')."""
+
+    UNKNOWN = "<unknown_type>"
+
+    def __init__(self, types: Sequence[str] = COARSE_ENTITY_TYPES) -> None:
+        self._types: List[str] = [self.UNKNOWN] + list(types)
+        self._type_to_id: Dict[str, int] = {t: i for i, t in enumerate(self._types)}
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def type_to_id(self, coarse_type: str) -> int:
+        return self._type_to_id.get(coarse_type, 0)
+
+    def id_to_type(self, index: int) -> str:
+        return self._types[index]
+
+    def encode(self, types: Sequence[str]) -> np.ndarray:
+        """Encode a non-empty sequence of type names to ids (unknown if empty)."""
+        if not types:
+            return np.array([0], dtype=np.int64)
+        return np.array([self.type_to_id(t) for t in types], dtype=np.int64)
+
+
+class BagEncoder:
+    """Convert :class:`Bag` objects into :class:`EncodedBag` arrays."""
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        max_sentence_length: int = 120,
+        max_position_distance: int = 60,
+        max_sentences_per_bag: Optional[int] = None,
+        type_vocabulary: Optional[TypeVocabulary] = None,
+    ) -> None:
+        if max_sentence_length < 2:
+            raise DataError("max_sentence_length must be at least 2")
+        self.vocabulary = vocabulary
+        self.max_sentence_length = max_sentence_length
+        self.max_position_distance = max_position_distance
+        self.max_sentences_per_bag = max_sentences_per_bag
+        self.type_vocabulary = type_vocabulary or TypeVocabulary()
+
+    @property
+    def num_position_ids(self) -> int:
+        return 2 * self.max_position_distance + 1
+
+    def encode(self, bag: Bag) -> EncodedBag:
+        """Encode one bag; sentences beyond the per-bag cap are dropped.
+
+        Sentences are padded to the longest sentence *within the bag* (capped
+        at ``max_sentence_length``) rather than to the global maximum, which
+        keeps the encoder and GRU costs proportional to real sentence lengths.
+        """
+        sentences = bag.sentences
+        if self.max_sentences_per_bag is not None:
+            sentences = sentences[: self.max_sentences_per_bag]
+        if not sentences:
+            raise DataError(f"bag for pair {bag.pair} has no sentences")
+
+        num_sentences = len(sentences)
+        max_len = min(
+            self.max_sentence_length,
+            max(sentence.length for sentence in sentences),
+        )
+        max_len = max(max_len, 2)
+        token_ids = np.zeros((num_sentences, max_len), dtype=np.int64)
+        head_pos = np.zeros((num_sentences, max_len), dtype=np.int64)
+        tail_pos = np.zeros((num_sentences, max_len), dtype=np.int64)
+        segments = np.full((num_sentences, max_len), -1, dtype=np.int64)
+        mask = np.zeros((num_sentences, max_len), dtype=bool)
+
+        for i, sentence in enumerate(sentences):
+            tokens = sentence.tokens[:max_len]
+            length = len(tokens)
+            head_index = min(sentence.head_position, length - 1)
+            tail_index = min(sentence.tail_position, length - 1)
+            token_ids[i, :length] = self.vocabulary.encode(tokens)
+            h_ids, t_ids = relative_positions(
+                length, head_index, tail_index, self.max_position_distance
+            )
+            head_pos[i, :length] = h_ids
+            tail_pos[i, :length] = t_ids
+            segments[i, :length] = segment_ids_for_entities(length, head_index, tail_index)
+            mask[i, :length] = True
+
+        return EncodedBag(
+            token_ids=token_ids,
+            head_position_ids=head_pos,
+            tail_position_ids=tail_pos,
+            segment_ids=segments,
+            mask=mask,
+            label=bag.primary_relation,
+            relation_ids=tuple(sorted(bag.relation_ids)),
+            head_entity_id=bag.head_id,
+            tail_entity_id=bag.tail_id,
+            head_type_ids=self.type_vocabulary.encode(bag.head_types),
+            tail_type_ids=self.type_vocabulary.encode(bag.tail_types),
+        )
+
+    def encode_all(self, bags: Sequence[Bag]) -> List[EncodedBag]:
+        """Encode every bag in a dataset split."""
+        return [self.encode(bag) for bag in bags]
+
+
+class BatchIterator:
+    """Yield shuffled mini-batches of encoded bags."""
+
+    def __init__(
+        self,
+        encoded_bags: Sequence[EncodedBag],
+        batch_size: int,
+        shuffle: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise DataError("batch_size must be positive")
+        self.encoded_bags = list(encoded_bags)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng or np.random.default_rng()
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.encoded_bags), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[List[EncodedBag]]:
+        order = np.arange(len(self.encoded_bags))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            indices = order[start:start + self.batch_size]
+            if self.drop_last and len(indices) < self.batch_size:
+                break
+            yield [self.encoded_bags[int(i)] for i in indices]

@@ -1,0 +1,160 @@
+"""Sentence templates used by the synthetic corpus generators.
+
+Each relation is associated with a handful of *expressing* templates built
+from trigger words derived from the relation name (so synthetic schemas work
+too), plus shared *noise* templates that mention both entities without
+expressing the relation — the source of the false-positive labels that make
+distant supervision noisy (the "Barack Obama visits Hawaii" problem in the
+paper's introduction).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..kb.schema import NA_RELATION, RelationSchema
+
+HEAD_SLOT = "{head}"
+TAIL_SLOT = "{tail}"
+
+# Generic noise templates: they mention both entities but do not express any
+# specific relation.  They are also used to realise NA bags.
+NOISE_TEMPLATES: Tuple[Tuple[str, ...], ...] = (
+    (HEAD_SLOT, "visited", TAIL_SLOT, "last", "week", "."),
+    (HEAD_SLOT, "and", TAIL_SLOT, "appeared", "in", "the", "same", "report", "."),
+    ("the", "article", "mentioned", HEAD_SLOT, "alongside", TAIL_SLOT, "."),
+    (HEAD_SLOT, "spoke", "about", TAIL_SLOT, "during", "the", "interview", "."),
+    ("analysts", "compared", HEAD_SLOT, "with", TAIL_SLOT, "yesterday", "."),
+    (HEAD_SLOT, "was", "discussed", "together", "with", TAIL_SLOT, "at", "the", "panel", "."),
+    ("reporters", "asked", HEAD_SLOT, "about", TAIL_SLOT, "."),
+    (HEAD_SLOT, "arrived", "shortly", "after", TAIL_SLOT, "."),
+)
+
+# Filler fragments appended or prepended to expressing templates so sentences
+# for the same relation are not identical strings.
+_FILLER_PREFIXES: Tuple[Tuple[str, ...], ...] = (
+    (),
+    ("according", "to", "the", "report", ","),
+    ("officials", "said", "that"),
+    ("as", "expected", ","),
+    ("earlier", "this", "year", ","),
+    ("the", "newspaper", "noted", "that"),
+)
+
+_FILLER_SUFFIXES: Tuple[Tuple[str, ...], ...] = (
+    (),
+    ("according", "to", "records", "."),
+    ("the", "statement", "said", "."),
+    ("sources", "confirmed", "."),
+    ("as", "documents", "show", "."),
+)
+
+_NAME_SPLIT = re.compile(r"[^a-z0-9]+")
+
+
+def trigger_tokens(relation_name: str) -> List[str]:
+    """Derive trigger tokens from a relation name.
+
+    ``/people/person/place_of_birth`` becomes ``["place", "of", "birth"]``;
+    synthetic relation names degrade gracefully to their last path component.
+    """
+    last = relation_name.rstrip("/").split("/")[-1].lower()
+    tokens = [token for token in _NAME_SPLIT.split(last) if token]
+    return tokens or ["related"]
+
+
+class TemplateLibrary:
+    """Expressing and noise templates for every relation of a schema."""
+
+    def __init__(self, schema: RelationSchema, templates_per_relation: int = 4) -> None:
+        if templates_per_relation < 1:
+            raise ValueError("templates_per_relation must be positive")
+        self.schema = schema
+        self.templates_per_relation = templates_per_relation
+        self._expressing: Dict[int, List[Tuple[str, ...]]] = {}
+        for relation_id in schema.positive_relation_ids():
+            self._expressing[relation_id] = self._build_templates(relation_id)
+
+    # ------------------------------------------------------------------ #
+    # Template construction
+    # ------------------------------------------------------------------ #
+    def _build_templates(self, relation_id: int) -> List[Tuple[str, ...]]:
+        name = self.schema.relation_name(relation_id)
+        triggers = trigger_tokens(name)
+        # Trigger words stay separate tokens (no joined "place_of_birth"
+        # token): relations like place_of_birth / place_of_death then share
+        # surface words, so lexical features alone cannot trivially identify
+        # the relation — the ambiguity the paper's introduction describes.
+        cores: List[Tuple[str, ...]] = [
+            (HEAD_SLOT, "has", *triggers, "relation", "with", TAIL_SLOT, "."),
+            (HEAD_SLOT, *triggers, TAIL_SLOT, "."),
+            ("the", *triggers, "of", HEAD_SLOT, "is", TAIL_SLOT, "."),
+            (TAIL_SLOT, "is", "linked", "to", HEAD_SLOT, "through", *triggers, "."),
+            (HEAD_SLOT, "is", "known", "for", "its", *triggers, ",", TAIL_SLOT, "."),
+            (HEAD_SLOT, ",", "whose", *triggers, "is", TAIL_SLOT, ",", "made", "news", "."),
+        ]
+        templates: List[Tuple[str, ...]] = []
+        for index in range(self.templates_per_relation):
+            core = cores[index % len(cores)]
+            prefix = _FILLER_PREFIXES[index % len(_FILLER_PREFIXES)]
+            suffix = _FILLER_SUFFIXES[(index * 3 + 1) % len(_FILLER_SUFFIXES)]
+            templates.append(tuple(prefix) + core + tuple(suffix))
+        return templates
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def expressing_templates(self, relation_id: int) -> List[Tuple[str, ...]]:
+        """Templates that actually express ``relation_id``."""
+        if relation_id == self.schema.na_id:
+            raise KeyError("NA has no expressing templates; use noise_templates()")
+        return list(self._expressing[relation_id])
+
+    def noise_templates(self) -> List[Tuple[str, ...]]:
+        """Templates that mention both entities without expressing a relation."""
+        return list(NOISE_TEMPLATES)
+
+    def sample_expressing(
+        self, relation_id: int, rng: np.random.Generator
+    ) -> Tuple[str, ...]:
+        """Pick a random expressing template for a relation."""
+        templates = self._expressing[relation_id]
+        return templates[int(rng.integers(len(templates)))]
+
+    def sample_noise(self, rng: np.random.Generator) -> Tuple[str, ...]:
+        """Pick a random noise template."""
+        return NOISE_TEMPLATES[int(rng.integers(len(NOISE_TEMPLATES)))]
+
+    # ------------------------------------------------------------------ #
+    # Realisation
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def realize(
+        template: Sequence[str],
+        head_name: str,
+        tail_name: str,
+    ) -> Tuple[List[str], int, int]:
+        """Substitute entity names into a template.
+
+        Returns the token list along with the token positions of the head and
+        tail mentions.  Entity names occupy a single token (multi-word names
+        are underscore-joined by the KB generator).
+        """
+        tokens: List[str] = []
+        head_index: Optional[int] = None
+        tail_index: Optional[int] = None
+        for token in template:
+            if token == HEAD_SLOT:
+                head_index = len(tokens)
+                tokens.append(head_name)
+            elif token == TAIL_SLOT:
+                tail_index = len(tokens)
+                tokens.append(tail_name)
+            else:
+                tokens.append(token)
+        if head_index is None or tail_index is None:
+            raise ValueError("template must contain both {head} and {tail} slots")
+        return tokens, head_index, tail_index

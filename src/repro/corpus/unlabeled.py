@@ -1,0 +1,169 @@
+"""Synthetic unlabeled corpus (the stand-in for the Wikipedia dump).
+
+The paper mines implicit mutual relations from an *unlabeled* corpus: the
+only information used downstream is how often two entities co-occur in a
+sentence.  This generator produces such a corpus from the synthetic knowledge
+base with three co-occurrence sources:
+
+1. **Fact mentions** — entity pairs related in the KB co-occur often (their
+   frequency follows a long-tailed distribution, which Figure 6 buckets over);
+2. **Cluster mentions** — entities of the same topical cluster co-occur
+   (universities with other universities' cities, ...), giving same-semantics
+   entities the *shared neighbourhoods* that second-order proximity captures;
+3. **Background noise** — random co-occurrences, as real text contains.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..kb.knowledge_base import KnowledgeBase
+from .templates import TemplateLibrary
+
+
+@dataclass(frozen=True)
+class UnlabeledSentence:
+    """A sentence of the unlabeled corpus mentioning two entities."""
+
+    tokens: Tuple[str, ...]
+    first_entity: str
+    second_entity: str
+
+
+class UnlabeledCorpusGenerator:
+    """Generate an unlabeled corpus with controllable co-occurrence structure."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        templates: Optional[TemplateLibrary] = None,
+        mean_mentions_per_pair: float = 6.0,
+        max_mentions_per_pair: int = 80,
+        cluster_pair_fraction: float = 0.5,
+        background_fraction: float = 0.1,
+        zipf_exponent: float = 1.8,
+        seed: int = 0,
+    ) -> None:
+        if mean_mentions_per_pair < 1:
+            raise ConfigurationError("mean_mentions_per_pair must be >= 1")
+        if max_mentions_per_pair < 1:
+            raise ConfigurationError("max_mentions_per_pair must be >= 1")
+        if not 0.0 <= cluster_pair_fraction <= 2.0:
+            raise ConfigurationError("cluster_pair_fraction must be in [0, 2]")
+        if not 0.0 <= background_fraction < 1.0:
+            raise ConfigurationError("background_fraction must be in [0, 1)")
+        if zipf_exponent <= 1.0:
+            raise ConfigurationError("zipf_exponent must be > 1")
+        self.kb = kb
+        self.templates = templates or TemplateLibrary(kb.schema)
+        self.mean_mentions_per_pair = mean_mentions_per_pair
+        self.max_mentions_per_pair = max_mentions_per_pair
+        self.cluster_pair_fraction = cluster_pair_fraction
+        self.background_fraction = background_fraction
+        self.zipf_exponent = zipf_exponent
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # Frequency sampling
+    # ------------------------------------------------------------------ #
+    def _sample_mention_count(self) -> int:
+        raw = int(self._rng.zipf(self.zipf_exponent))
+        scaled = max(1, int(round(raw * self.mean_mentions_per_pair / 3.0)))
+        return min(scaled, self.max_mentions_per_pair)
+
+    def _realize(self, head_name: str, tail_name: str, relation_id: int) -> UnlabeledSentence:
+        # Unlabeled text sometimes expresses the fact, sometimes merely
+        # mentions both entities; only co-occurrence matters downstream.
+        if relation_id != self.kb.schema.na_id and self._rng.random() < 0.5:
+            template = self.templates.sample_expressing(relation_id, self._rng)
+        else:
+            template = self.templates.sample_noise(self._rng)
+        tokens, _, _ = TemplateLibrary.realize(template, head_name, tail_name)
+        return UnlabeledSentence(
+            tokens=tuple(tokens),
+            first_entity=head_name,
+            second_entity=tail_name,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Co-occurrence sources
+    # ------------------------------------------------------------------ #
+    def _fact_pairs(self) -> List[Tuple[int, int, int]]:
+        """(head, tail, relation) for every KB pair, NA pairs included."""
+        pairs = []
+        for head_id, tail_id in self.kb.entity_pairs():
+            relations = self.kb.relations_for_pair(head_id, tail_id)
+            primary = min((r for r in relations if r != 0), default=0)
+            pairs.append((head_id, tail_id, primary))
+        return pairs
+
+    def _cluster_pairs(self, count: int) -> List[Tuple[int, int, int]]:
+        """Random same-cluster entity pairs (relation NA for realisation)."""
+        by_cluster: Dict[int, List[int]] = defaultdict(list)
+        for entity in self.kb.entities:
+            by_cluster[entity.cluster].append(entity.entity_id)
+        clusters = [members for members in by_cluster.values() if len(members) >= 2]
+        pairs: List[Tuple[int, int, int]] = []
+        if not clusters:
+            return pairs
+        for _ in range(count):
+            members = clusters[int(self._rng.integers(len(clusters)))]
+            first, second = self._rng.choice(len(members), size=2, replace=False)
+            pairs.append((members[int(first)], members[int(second)], self.kb.schema.na_id))
+        return pairs
+
+    def _background_pairs(self, count: int) -> List[Tuple[int, int, int]]:
+        pairs: List[Tuple[int, int, int]] = []
+        for _ in range(count):
+            head_id = int(self._rng.integers(self.kb.num_entities))
+            tail_id = int(self._rng.integers(self.kb.num_entities))
+            if head_id != tail_id:
+                pairs.append((head_id, tail_id, self.kb.schema.na_id))
+        return pairs
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def generate(self) -> List[UnlabeledSentence]:
+        """Generate the unlabeled corpus as a list of sentences."""
+        fact_pairs = self._fact_pairs()
+        num_cluster_pairs = int(round(len(fact_pairs) * self.cluster_pair_fraction))
+        num_background = int(round(len(fact_pairs) * self.background_fraction))
+        sources = (
+            fact_pairs
+            + self._cluster_pairs(num_cluster_pairs)
+            + self._background_pairs(num_background)
+        )
+
+        sentences: List[UnlabeledSentence] = []
+        for head_id, tail_id, relation_id in sources:
+            head_name = self.kb.entity(head_id).name
+            tail_name = self.kb.entity(tail_id).name
+            count = self._sample_mention_count()
+            for _ in range(count):
+                sentences.append(self._realize(head_name, tail_name, relation_id))
+        return sentences
+
+    @staticmethod
+    def cooccurrence_counts(
+        sentences: Sequence[UnlabeledSentence],
+    ) -> Dict[Tuple[str, str], int]:
+        """Count (unordered) entity co-occurrences in a corpus.
+
+        The pair key is sorted alphabetically so (a, b) and (b, a) accumulate
+        into the same entry, matching how the paper counts co-occurrence in
+        Wikipedia sentences.
+        """
+        counts: Dict[Tuple[str, str], int] = defaultdict(int)
+        for sentence in sentences:
+            if sentence.first_entity == sentence.second_entity:
+                continue
+            key = tuple(sorted((sentence.first_entity, sentence.second_entity)))
+            counts[key] += 1
+        return dict(counts)

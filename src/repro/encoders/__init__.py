@@ -1,0 +1,18 @@
+"""Sentence encoders and bag-level attention used by the RE models."""
+
+from .base import SentenceEncoder, WordPositionEmbedder
+from .cnn import CNNEncoder
+from .pcnn import PCNNEncoder
+from .gru import GRUEncoder
+from .attention import AverageBagAggregator, SelectiveAttentionAggregator, WordAttention
+
+__all__ = [
+    "WordPositionEmbedder",
+    "SentenceEncoder",
+    "CNNEncoder",
+    "PCNNEncoder",
+    "GRUEncoder",
+    "AverageBagAggregator",
+    "SelectiveAttentionAggregator",
+    "WordAttention",
+]

@@ -1,0 +1,130 @@
+"""Bag-level aggregation: selective attention, average pooling, word attention.
+
+Selective attention (Lin et al., 2016) scores every sentence of a bag with a
+bilinear form between the sentence representation and a query vector
+associated with the candidate relation:
+
+.. math::
+
+    q_j = x_j A r, \\qquad \\alpha_j = \\mathrm{softmax}(q_j), \\qquad
+    X_{bag} = \\sum_j \\alpha_j x_j
+
+During training the gold relation's query selects the attention weights; at
+prediction time each candidate relation computes its own attended bag
+representation and is scored against it — exactly the protocol of the
+original PCNN+ATT implementation that the paper builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+
+
+class SelectiveAttentionAggregator(nn.Module):
+    """Selective (sentence-level) attention over a bag plus relation scoring."""
+
+    def __init__(
+        self,
+        sentence_dim: int,
+        num_relations: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.sentence_dim = sentence_dim
+        self.num_relations = num_relations
+        # Query vector per relation (rows of the relation embedding matrix).
+        self.relation_queries = nn.Parameter(
+            nn.init.xavier_uniform((num_relations, sentence_dim), rng=rng)
+        )
+        # Diagonal of the bilinear weighting matrix A.
+        self.attention_diag = nn.Parameter(np.ones(sentence_dim))
+        # Final scoring layer (shared with the prediction path).
+        self.classifier = nn.Linear(sentence_dim, num_relations, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    # Training path: gold relation selects the attention distribution
+    # ------------------------------------------------------------------ #
+    def bag_representation(self, sentence_reprs: Tensor, relation_id: int) -> Tensor:
+        """Attention-weighted bag vector using the given relation's query."""
+        query = self.relation_queries[relation_id]
+        scores = F.selective_attention_scores(sentence_reprs, query, self.attention_diag)
+        alphas = F.softmax(scores, axis=-1)
+        return alphas.matmul(sentence_reprs)
+
+    def train_logits(self, sentence_reprs: Tensor, relation_id: int) -> Tensor:
+        """Relation logits for training (attention guided by the gold label)."""
+        bag_vector = self.bag_representation(sentence_reprs, relation_id)
+        return self.classifier(bag_vector)
+
+    # ------------------------------------------------------------------ #
+    # Prediction path: every relation attends with its own query
+    # ------------------------------------------------------------------ #
+    def predict_logits(self, sentence_reprs: Tensor) -> Tensor:
+        """Per-relation logits where each relation uses its own attention.
+
+        Returns a tensor of shape ``(num_relations,)`` whose ``r``-th entry is
+        the score of relation ``r`` computed from the bag representation
+        attended with relation ``r``'s query.
+        """
+        weighted = sentence_reprs * self.attention_diag          # (n, d)
+        scores = weighted.matmul(self.relation_queries.T)        # (n, R)
+        alphas = F.softmax(scores, axis=0)                       # softmax over sentences
+        bag_per_relation = alphas.T.matmul(sentence_reprs)       # (R, d)
+        logits_full = self.classifier(bag_per_relation)          # (R, R)
+        diag_index = np.arange(self.num_relations)
+        return logits_full[diag_index, diag_index]
+
+    def forward(self, sentence_reprs: Tensor, relation_id: Optional[int] = None) -> Tensor:
+        if relation_id is None:
+            return self.predict_logits(sentence_reprs)
+        return self.train_logits(sentence_reprs, relation_id)
+
+
+class AverageBagAggregator(nn.Module):
+    """Average pooling over the bag (the no-attention PCNN / CNN baselines)."""
+
+    def __init__(
+        self,
+        sentence_dim: int,
+        num_relations: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.sentence_dim = sentence_dim
+        self.num_relations = num_relations
+        self.classifier = nn.Linear(sentence_dim, num_relations, rng=rng)
+
+    def bag_representation(self, sentence_reprs: Tensor, relation_id: Optional[int] = None) -> Tensor:
+        return sentence_reprs.mean(axis=0)
+
+    def forward(self, sentence_reprs: Tensor, relation_id: Optional[int] = None) -> Tensor:
+        return self.classifier(self.bag_representation(sentence_reprs))
+
+
+class WordAttention(nn.Module):
+    """Word-level attention over the hidden states of one sentence batch.
+
+    Used by the BGWA baseline: each token's hidden state is scored with a
+    learned vector, the scores are masked-softmaxed over the sentence and the
+    hidden states are combined into a single sentence vector.
+    """
+
+    def __init__(self, hidden_dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.projection = nn.Linear(hidden_dim, hidden_dim, rng=rng)
+        self.score_vector = nn.Parameter(nn.init.xavier_uniform((hidden_dim, 1), rng=rng))
+
+    def forward(self, hidden: Tensor, mask: np.ndarray) -> Tensor:
+        """``hidden``: (num_sentences, length, hidden_dim) -> (num_sentences, hidden_dim)."""
+        projected = self.projection(hidden).tanh()
+        scores = projected.matmul(self.score_vector).squeeze(axis=2)   # (n, length)
+        alphas = F.masked_softmax(scores, mask, axis=-1)               # (n, length)
+        weighted = hidden * alphas.expand_dims(2)
+        return weighted.sum(axis=1)

@@ -1,0 +1,71 @@
+"""Plain CNN sentence encoder (Zeng et al., 2014).
+
+A 1-D convolution over the token representations followed by a single max
+pooling over the whole sentence and a tanh non-linearity.  Used by the
+CNN+ATT baseline and, with the implicit-mutual-relation component attached,
+by the Figure 5 flexibility experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..corpus.bags import EncodedBag
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+from .base import SentenceEncoder
+
+
+class CNNEncoder(SentenceEncoder):
+    """Convolution + global max pooling sentence encoder."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_filters: int = 230,
+        window_size: int = 3,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.num_filters = num_filters
+        self.window_size = window_size
+        self.conv = nn.Conv1d(
+            in_channels=input_dim,
+            out_channels=num_filters,
+            kernel_size=window_size,
+            padding=window_size // 2,
+            rng=rng,
+        )
+
+    @property
+    def output_dim(self) -> int:
+        return self.num_filters
+
+    def forward(self, embedded: Tensor, bag: EncodedBag) -> Tensor:
+        convolved = self.conv(embedded)
+        # The convolution output length differs from the input length when the
+        # window is even; recompute the valid-position mask accordingly.
+        out_length = convolved.shape[1]
+        mask = _convolution_mask(bag.mask, out_length, self.window_size, self.conv.padding)
+        pooled = F.max_pool_sequence(convolved, mask=mask)
+        return pooled.tanh()
+
+
+def _convolution_mask(
+    token_mask: np.ndarray,
+    out_length: int,
+    window_size: int,
+    padding: int,
+) -> np.ndarray:
+    """Mark convolution outputs whose window overlaps at least one real token."""
+    num_sentences, in_length = token_mask.shape
+    padded = np.zeros((num_sentences, in_length + 2 * padding), dtype=bool)
+    padded[:, padding:padding + in_length] = token_mask
+    mask = np.zeros((num_sentences, out_length), dtype=bool)
+    for position in range(out_length):
+        window = padded[:, position:position + window_size]
+        mask[:, position] = window.any(axis=1)
+    return mask

@@ -1,0 +1,50 @@
+"""GRU-based sentence encoder.
+
+The paper demonstrates the flexibility of the implicit-mutual-relation
+component by attaching it to an RNN-based encoder (GRU + attention); the BGWA
+baseline (Jat et al., 2018) also uses a bidirectional GRU with word-level
+attention.  This encoder supports both: max pooling over the hidden states
+(default) or word-attention pooling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..corpus.bags import EncodedBag
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+from .attention import WordAttention
+from .base import SentenceEncoder
+
+
+class GRUEncoder(SentenceEncoder):
+    """Bidirectional GRU encoder with max-pool or word-attention aggregation."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int = 100,
+        word_attention: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.use_word_attention = word_attention
+        self.bigru = nn.BiGRU(input_dim, hidden_dim, rng=rng)
+        if word_attention:
+            self.word_attention = WordAttention(2 * hidden_dim, rng=rng)
+
+    @property
+    def output_dim(self) -> int:
+        return 2 * self.hidden_dim
+
+    def forward(self, embedded: Tensor, bag: EncodedBag) -> Tensor:
+        hidden = self.bigru(embedded, mask=bag.mask)
+        if self.use_word_attention:
+            return self.word_attention(hidden, bag.mask).tanh()
+        pooled = F.max_pool_sequence(hidden, mask=bag.mask)
+        return pooled.tanh()

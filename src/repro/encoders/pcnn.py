@@ -1,0 +1,70 @@
+"""Piecewise CNN sentence encoder (PCNN, Zeng et al., 2015).
+
+Identical to the plain CNN encoder except for the pooling stage: the
+convolution outputs are max-pooled separately over the three segments defined
+by the two entity mentions (before the first mention, between the mentions,
+after the second) and the three pooled vectors are concatenated.  This is the
+sentence encoder of the paper's main model PA-TMR.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..corpus.bags import EncodedBag
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+from .base import SentenceEncoder
+
+NUM_SEGMENTS = 3
+
+
+class PCNNEncoder(SentenceEncoder):
+    """Convolution + piecewise max pooling sentence encoder."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_filters: int = 230,
+        window_size: int = 3,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.num_filters = num_filters
+        self.window_size = window_size
+        self.conv = nn.Conv1d(
+            in_channels=input_dim,
+            out_channels=num_filters,
+            kernel_size=window_size,
+            padding=window_size // 2,
+            rng=rng,
+        )
+
+    @property
+    def output_dim(self) -> int:
+        return NUM_SEGMENTS * self.num_filters
+
+    def forward(self, embedded: Tensor, bag: EncodedBag) -> Tensor:
+        convolved = self.conv(embedded)
+        out_length = convolved.shape[1]
+        segments = _align_segments(bag.segment_ids, out_length, self.conv.padding)
+        pooled = F.piecewise_max_pool(convolved, segments, num_segments=NUM_SEGMENTS)
+        return pooled.tanh()
+
+
+def _align_segments(segment_ids: np.ndarray, out_length: int, padding: int) -> np.ndarray:
+    """Align token segment ids with the convolution output positions.
+
+    With symmetric padding of ``window // 2`` the convolution output position
+    ``t`` is centred on input token ``t``; when output and input lengths
+    differ (even windows) the extra positions inherit the padding marker (-1)
+    so they are ignored by the piecewise pooling.
+    """
+    num_sentences, in_length = segment_ids.shape
+    aligned = np.full((num_sentences, out_length), -1, dtype=np.int64)
+    copy_length = min(in_length, out_length)
+    aligned[:, :copy_length] = segment_ids[:, :copy_length]
+    return aligned

@@ -1,0 +1,22 @@
+"""Held-out evaluation: PR curves, AUC, F1, P@N and bucketed analyses."""
+
+from .metrics import (
+    area_under_curve,
+    max_f1_point,
+    precision_at_k,
+    precision_recall_curve,
+)
+from .heldout import EvaluationResult, HeldOutEvaluator, PredictionRecord
+from .buckets import bucket_f1_by_cooccurrence, bucket_f1_by_sentence_count
+
+__all__ = [
+    "precision_recall_curve",
+    "area_under_curve",
+    "max_f1_point",
+    "precision_at_k",
+    "PredictionRecord",
+    "EvaluationResult",
+    "HeldOutEvaluator",
+    "bucket_f1_by_cooccurrence",
+    "bucket_f1_by_sentence_count",
+]

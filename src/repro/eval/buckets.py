@@ -1,0 +1,96 @@
+"""Bucketed evaluation used by the Figure 6 and Figure 7 analyses.
+
+* Figure 6 groups test entity pairs by their co-occurrence frequency in the
+  *unlabeled* corpus and reports the F1-score per quantile bucket.
+* Figure 7 groups test entity pairs by the number of *training* sentences
+  their bag has in the distant-supervision corpus and reports F1 per bucket.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..corpus.bags import EncodedBag
+from ..corpus.datasets import DatasetBundle
+from .heldout import HeldOutEvaluator, PredictFn
+
+
+def bucket_f1_by_cooccurrence(
+    evaluator: HeldOutEvaluator,
+    predict: PredictFn,
+    bundle: DatasetBundle,
+    num_buckets: int = 4,
+    model_name: str = "model",
+) -> Dict[str, float]:
+    """F1 per unlabeled-corpus co-occurrence quantile (Figure 6).
+
+    Test pairs are sorted by how often the pair co-occurs in the unlabeled
+    corpus and split into ``num_buckets`` equal-sized quantile groups
+    (Q1 = least frequent ... Qn = most frequent).
+    """
+    if num_buckets < 2:
+        raise ValueError("num_buckets must be at least 2")
+    pairs_with_frequency: List[Tuple[Tuple[int, int], int]] = []
+    for bag in bundle.test:
+        frequency = bundle.cooccurrence_for_pair(bag.head_name, bag.tail_name)
+        pairs_with_frequency.append((bag.pair, frequency))
+    if not pairs_with_frequency:
+        return {}
+
+    pairs_with_frequency.sort(key=lambda item: item[1])
+    chunks = np.array_split(np.arange(len(pairs_with_frequency)), num_buckets)
+    results: Dict[str, float] = {}
+    for index, chunk in enumerate(chunks):
+        label = f"Q{index + 1}"
+        pairs = [pairs_with_frequency[int(i)][0] for i in chunk]
+        result = evaluator.evaluate_subset(predict, pairs, model_name=model_name)
+        results[label] = result.f1
+    return results
+
+
+def bucket_f1_by_sentence_count(
+    evaluator: HeldOutEvaluator,
+    predict: PredictFn,
+    test_bags: Sequence[EncodedBag],
+    edges: Sequence[int] = (1, 2, 3, 5, 10),
+    model_name: str = "model",
+) -> Dict[str, float]:
+    """F1 per training-sentence-count bucket (Figure 7).
+
+    Buckets are defined over the number of sentences in each *test* bag
+    (a proxy for how much distant-supervision evidence the pair has; in the
+    synthetic corpora train and test frequency are drawn from the same
+    long-tailed distribution).
+    """
+    if len(edges) < 2:
+        raise ValueError("need at least two bucket edges")
+    buckets: Dict[str, List[Tuple[int, int]]] = {}
+    labels: List[str] = []
+    for low, high in zip(edges[:-1], edges[1:]):
+        label = f"{low}" if high - low == 1 else f"{low}-{high - 1}"
+        labels.append(label)
+        buckets[label] = []
+    final_label = f">={edges[-1]}"
+    labels.append(final_label)
+    buckets[final_label] = []
+
+    for bag in test_bags:
+        count = bag.num_sentences
+        assigned = final_label
+        for low, high in zip(edges[:-1], edges[1:]):
+            if low <= count < high:
+                assigned = f"{low}" if high - low == 1 else f"{low}-{high - 1}"
+                break
+        buckets[assigned].append((bag.head_entity_id, bag.tail_entity_id))
+
+    results: Dict[str, float] = {}
+    for label in labels:
+        pairs = buckets[label]
+        if not pairs:
+            results[label] = float("nan")
+            continue
+        result = evaluator.evaluate_subset(predict, pairs, model_name=model_name)
+        results[label] = result.f1
+    return results

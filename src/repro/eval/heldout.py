@@ -1,0 +1,197 @@
+"""Held-out evaluation protocol.
+
+Following Mintz et al. (2009) and every subsequent distant-supervision paper,
+the held-out protocol compares the relations a model predicts for test entity
+pairs against the facts recorded in the knowledge base, without any manual
+annotation:
+
+* every (test bag, positive relation) combination is a candidate prediction
+  scored by the model's probability for that relation;
+* a candidate is correct when the knowledge base asserts that relation for
+  the bag's entity pair;
+* candidates are ranked by score, giving the precision-recall curve, its AUC,
+  the max-F1 operating point and P@N — the numbers of Table IV / Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..corpus.bags import EncodedBag
+from ..exceptions import ConfigurationError
+from .metrics import (
+    area_under_curve,
+    max_f1_point,
+    precision_at_k,
+    precision_recall_curve,
+)
+
+# A model, for evaluation purposes, is anything that maps an encoded bag to a
+# probability distribution over relations.
+PredictFn = Callable[[EncodedBag], np.ndarray]
+
+
+@dataclass(frozen=True)
+class PredictionRecord:
+    """One candidate fact extracted by a model."""
+
+    head_entity_id: int
+    tail_entity_id: int
+    relation_id: int
+    score: float
+    correct: bool
+
+
+@dataclass
+class EvaluationResult:
+    """All held-out metrics of one model on one test set."""
+
+    model_name: str
+    auc: float
+    precision: float
+    recall: float
+    f1: float
+    precision_at: Dict[int, float]
+    pr_curve: Tuple[np.ndarray, np.ndarray]
+    num_predictions: int
+    total_positives: int
+    records: List[PredictionRecord] = field(default_factory=list, repr=False)
+
+    def summary_row(self, p_at: Sequence[int] = (100, 200)) -> List:
+        """Row for the Table IV style report."""
+        row = [self.model_name, self.auc, self.precision, self.recall, self.f1]
+        row.extend(self.precision_at.get(k, float("nan")) for k in p_at)
+        return row
+
+
+class HeldOutEvaluator:
+    """Evaluate predictors on a fixed set of encoded test bags."""
+
+    def __init__(
+        self,
+        test_bags: Sequence[EncodedBag],
+        num_relations: int,
+        precision_at: Sequence[int] = (100, 200),
+    ) -> None:
+        if not test_bags:
+            raise ConfigurationError("the test set is empty")
+        if num_relations < 2:
+            raise ConfigurationError("num_relations must be at least 2")
+        self.test_bags = list(test_bags)
+        self.num_relations = num_relations
+        self.precision_at = tuple(precision_at)
+        self.total_positives = self._count_positive_facts()
+
+    def _count_positive_facts(self) -> int:
+        total = 0
+        for bag in self.test_bags:
+            total += sum(1 for relation_id in bag.relation_ids if relation_id != 0)
+        return max(total, 1)
+
+    # ------------------------------------------------------------------ #
+    # Core evaluation
+    # ------------------------------------------------------------------ #
+    def collect_records(
+        self,
+        predict: PredictFn,
+        bags: Optional[Sequence[EncodedBag]] = None,
+    ) -> List[PredictionRecord]:
+        """Score every (bag, positive relation) candidate with the predictor."""
+        records: List[PredictionRecord] = []
+        for bag in (bags if bags is not None else self.test_bags):
+            probabilities = np.asarray(predict(bag), dtype=float)
+            if probabilities.shape != (self.num_relations,):
+                raise ConfigurationError(
+                    f"predictor returned shape {probabilities.shape}, "
+                    f"expected ({self.num_relations},)"
+                )
+            gold = set(bag.relation_ids)
+            for relation_id in range(1, self.num_relations):
+                records.append(
+                    PredictionRecord(
+                        head_entity_id=bag.head_entity_id,
+                        tail_entity_id=bag.tail_entity_id,
+                        relation_id=relation_id,
+                        score=float(probabilities[relation_id]),
+                        correct=relation_id in gold,
+                    )
+                )
+        return records
+
+    def evaluate(
+        self,
+        predict: PredictFn,
+        model_name: str = "model",
+        keep_records: bool = False,
+    ) -> EvaluationResult:
+        """Full held-out evaluation of one predictor."""
+        records = self.collect_records(predict)
+        return self.evaluate_records(
+            records,
+            model_name=model_name,
+            total_positives=self.total_positives,
+            keep_records=keep_records,
+        )
+
+    def evaluate_records(
+        self,
+        records: Sequence[PredictionRecord],
+        model_name: str = "model",
+        total_positives: Optional[int] = None,
+        keep_records: bool = False,
+    ) -> EvaluationResult:
+        """Compute all metrics from a pre-collected list of prediction records."""
+        total = total_positives if total_positives is not None else self.total_positives
+        scores = [record.score for record in records]
+        correct = [record.correct for record in records]
+        precision, recall = precision_recall_curve(scores, correct, total)
+        best = max_f1_point(precision, recall)
+        return EvaluationResult(
+            model_name=model_name,
+            auc=area_under_curve(precision, recall),
+            precision=best.precision,
+            recall=best.recall,
+            f1=best.f1,
+            precision_at={k: precision_at_k(scores, correct, k) for k in self.precision_at},
+            pr_curve=(precision, recall),
+            num_predictions=len(records),
+            total_positives=total,
+            records=list(records) if keep_records else [],
+        )
+
+    # ------------------------------------------------------------------ #
+    # Subset evaluation (used by the Figure 6 / Figure 7 analyses)
+    # ------------------------------------------------------------------ #
+    def evaluate_subset(
+        self,
+        predict: PredictFn,
+        pairs: Sequence[Tuple[int, int]],
+        model_name: str = "model",
+    ) -> EvaluationResult:
+        """Evaluate only the test bags whose (head, tail) pair is in ``pairs``."""
+        wanted = set(pairs)
+        subset = [
+            bag
+            for bag in self.test_bags
+            if (bag.head_entity_id, bag.tail_entity_id) in wanted
+        ]
+        if not subset:
+            return EvaluationResult(
+                model_name=model_name,
+                auc=0.0,
+                precision=0.0,
+                recall=0.0,
+                f1=0.0,
+                precision_at={k: 0.0 for k in self.precision_at},
+                pr_curve=(np.array([1.0]), np.array([0.0])),
+                num_predictions=0,
+                total_positives=0,
+            )
+        total = max(
+            1, sum(1 for bag in subset for r in bag.relation_ids if r != 0)
+        )
+        records = self.collect_records(predict, bags=subset)
+        return self.evaluate_records(records, model_name=model_name, total_positives=total)

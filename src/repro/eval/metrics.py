@@ -1,0 +1,115 @@
+"""Ranking metrics for held-out relation extraction evaluation.
+
+Predictions are (score, is_correct) pairs — one per (bag, candidate relation)
+with the NA relation excluded — ranked by score.  The precision-recall curve,
+its area (AUC), the maximum-F1 operating point and precision-at-N are exactly
+the metrics reported in Table IV and plotted in Figure 4 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def precision_recall_curve(
+    scores: Sequence[float],
+    correct: Sequence[bool],
+    total_positives: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Precision and recall at every prefix of the score-ranked predictions.
+
+    Parameters
+    ----------
+    scores:
+        Confidence score of each prediction.
+    correct:
+        Whether each prediction matches a known fact.
+    total_positives:
+        Number of gold facts in the test set; the denominator of recall
+        (held-out evaluation counts facts the ranking never retrieves).
+    """
+    scores = np.asarray(scores, dtype=float)
+    correct = np.asarray(correct, dtype=bool)
+    if scores.shape != correct.shape:
+        raise ValueError("scores and correct must have the same length")
+    if total_positives <= 0:
+        raise ValueError("total_positives must be positive")
+    if scores.size == 0:
+        return np.array([1.0]), np.array([0.0])
+
+    order = np.argsort(-scores, kind="stable")
+    hits = np.cumsum(correct[order])
+    ranks = np.arange(1, scores.size + 1)
+    precision = hits / ranks
+    recall = hits / total_positives
+    return precision, recall
+
+
+def area_under_curve(precision: np.ndarray, recall: np.ndarray) -> float:
+    """Area under the precision-recall curve via trapezoidal integration."""
+    precision = np.asarray(precision, dtype=float)
+    recall = np.asarray(recall, dtype=float)
+    if precision.size != recall.size or precision.size == 0:
+        raise ValueError("precision and recall must be non-empty and equal length")
+    # Prepend the (recall=0) point so the first segment is integrated too.
+    recall_ext = np.concatenate([[0.0], recall])
+    precision_ext = np.concatenate([[precision[0]], precision])
+    widths = np.diff(recall_ext)
+    heights = (precision_ext[1:] + precision_ext[:-1]) / 2.0
+    return float(np.sum(widths * heights))
+
+
+@dataclass
+class F1Point:
+    """The operating point of the PR curve with maximal F1."""
+
+    precision: float
+    recall: float
+    f1: float
+    threshold_rank: int
+
+    def as_tuple(self) -> Tuple[float, float, float]:
+        return (self.precision, self.recall, self.f1)
+
+
+def max_f1_point(precision: np.ndarray, recall: np.ndarray) -> F1Point:
+    """The point of the PR curve where F1 is maximal (Table IV's P/R/F1)."""
+    precision = np.asarray(precision, dtype=float)
+    recall = np.asarray(recall, dtype=float)
+    if precision.size == 0:
+        return F1Point(precision=0.0, recall=0.0, f1=0.0, threshold_rank=0)
+    denominator = precision + recall
+    f1 = np.where(denominator > 0, 2 * precision * recall / np.where(denominator == 0, 1, denominator), 0.0)
+    best = int(np.argmax(f1))
+    return F1Point(
+        precision=float(precision[best]),
+        recall=float(recall[best]),
+        f1=float(f1[best]),
+        threshold_rank=best + 1,
+    )
+
+
+def precision_at_k(
+    scores: Sequence[float],
+    correct: Sequence[bool],
+    k: int,
+) -> float:
+    """Precision among the top-``k`` predictions by score (P@N in Table IV)."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    scores = np.asarray(scores, dtype=float)
+    correct = np.asarray(correct, dtype=bool)
+    if scores.size == 0:
+        return 0.0
+    order = np.argsort(-scores, kind="stable")[: min(k, scores.size)]
+    return float(correct[order].mean())
+
+
+def f1_score(precision: float, recall: float) -> float:
+    """Harmonic mean of precision and recall (0 when both are 0)."""
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)

@@ -1,0 +1,23 @@
+"""Library-wide exception types."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the reproduction library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an experiment or model configuration is invalid."""
+
+
+class DataError(ReproError):
+    """Raised when a dataset or corpus is malformed or inconsistent."""
+
+
+class GraphError(ReproError):
+    """Raised when the entity proximity graph cannot be built or queried."""
+
+
+class ModelError(ReproError):
+    """Raised when a model is used incorrectly (e.g. predicting before training)."""

@@ -1,0 +1,26 @@
+"""Experiment modules — one per table / figure of the paper's evaluation.
+
+Every module exposes a ``run(...)`` function returning plain data structures
+and a ``format_report(...)`` helper that renders the same rows/series the
+paper reports.  The benchmark harness under ``benchmarks/`` calls these
+functions; ``python -m repro.experiments.runner`` runs them from the command
+line.
+
+=============  =======================================================
+module         reproduces
+=============  =======================================================
+``table2``     Table II  — dataset statistics
+``table3``     Table III — hyper-parameter settings
+``figure1``    Figure 1  — long tail of entity-pair frequencies
+``table4``     Table IV  — AUC / P / R / F1 / P@N of all methods
+``figure4``    Figure 4  — precision-recall curves
+``figure5``    Figure 5  — flexibility: +T/+MR on other base models
+``figure6``    Figure 6  — F1 vs. unlabeled co-occurrence quantile
+``figure7``    Figure 7  — F1 vs. number of training sentences
+``case_study`` Table V / Figure 8 — nearest entities in embedding space
+=============  =======================================================
+"""
+
+from .pipeline import ExperimentContext, prepare_context, train_and_evaluate
+
+__all__ = ["ExperimentContext", "prepare_context", "train_and_evaluate"]

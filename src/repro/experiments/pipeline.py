@@ -1,0 +1,177 @@
+"""Shared experiment pipeline.
+
+Every quantitative experiment follows the same steps:
+
+1. build a synthetic dataset bundle (SynthNYT or SynthGDS);
+2. build the entity proximity graph from the bundle's unlabeled corpus and
+   train LINE entity embeddings on it;
+3. encode the train/test bags;
+4. train one or more methods and run the held-out evaluation.
+
+:func:`prepare_context` performs steps 1-3 once so several methods can be
+compared on identical data, and :func:`train_and_evaluate` performs step 4
+for a single named method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines.api import RelationExtractionMethod
+from ..baselines.registry import build_method, display_name
+from ..config import ExperimentConfig, ModelConfig, ScaleProfile, TrainingConfig
+from ..corpus.bags import EncodedBag
+from ..corpus.datasets import DatasetBundle, build_synth_gds, build_synth_nyt
+from ..corpus.loader import BagEncoder
+from ..eval.heldout import EvaluationResult, HeldOutEvaluator
+from ..exceptions import ConfigurationError
+from ..graph.embeddings import EntityEmbeddings, train_entity_embeddings
+from ..graph.line import LineConfig
+from ..graph.proximity import EntityProximityGraph
+from ..utils.logging import get_logger
+
+logger = get_logger("experiments")
+
+DATASET_BUILDERS = {
+    "nyt": build_synth_nyt,
+    "gds": build_synth_gds,
+}
+
+
+@dataclass
+class ExperimentContext:
+    """Everything shared by the methods compared within one experiment."""
+
+    dataset_name: str
+    profile: ScaleProfile
+    bundle: DatasetBundle
+    proximity_graph: EntityProximityGraph
+    entity_embeddings: EntityEmbeddings
+    bag_encoder: BagEncoder
+    train_encoded: List[EncodedBag]
+    test_encoded: List[EncodedBag]
+    evaluator: HeldOutEvaluator
+    model_config: ModelConfig
+    training_config: TrainingConfig
+    seed: int = 0
+    _method_cache: Dict[str, Tuple[RelationExtractionMethod, EvaluationResult]] = field(
+        default_factory=dict, repr=False
+    )
+
+    @property
+    def num_relations(self) -> int:
+        return self.bundle.schema.num_relations
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.bundle.vocabulary)
+
+
+def prepare_context(
+    dataset: str = "nyt",
+    profile: Optional[ScaleProfile] = None,
+    seed: int = 0,
+    max_sentences_per_bag: int = 6,
+    max_sentence_length: int = 25,
+) -> ExperimentContext:
+    """Build the shared experiment context for one dataset.
+
+    ``max_sentences_per_bag`` and ``max_sentence_length`` cap the encoding
+    cost; the synthetic sentences are short, so 40 tokens is lossless, and a
+    handful of sentences per bag is what selective attention needs to show
+    its effect.
+    """
+    dataset = dataset.lower()
+    if dataset not in DATASET_BUILDERS:
+        raise ConfigurationError(f"unknown dataset '{dataset}' (expected 'nyt' or 'gds')")
+    profile = profile or ScaleProfile.small()
+    config = ExperimentConfig.for_profile(profile, seed=seed)
+
+    logger.info("building %s dataset (profile=%s, seed=%d)", dataset, profile.name, seed)
+    bundle = DATASET_BUILDERS[dataset](profile, seed=seed)
+
+    logger.info("building proximity graph from %d unlabeled sentences", len(bundle.unlabeled_sentences))
+    graph = EntityProximityGraph.from_counts(bundle.pair_cooccurrence)
+    line_config = LineConfig(
+        embedding_dim=config.graph.embedding_dim,
+        negative_samples=config.graph.negative_samples,
+        learning_rate=config.graph.learning_rate,
+        epochs=config.graph.epochs,
+        batch_edges=config.graph.batch_edges,
+        seed=seed,
+    )
+    embeddings = train_entity_embeddings(graph, line_config)
+
+    encoder = BagEncoder(
+        bundle.vocabulary,
+        max_sentence_length=max_sentence_length,
+        max_position_distance=config.model.max_position_distance,
+        max_sentences_per_bag=max_sentences_per_bag,
+    )
+    train_encoded = encoder.encode_all(bundle.train.bags)
+    test_encoded = encoder.encode_all(bundle.test.bags)
+    evaluator = HeldOutEvaluator(test_encoded, bundle.schema.num_relations)
+
+    return ExperimentContext(
+        dataset_name=bundle.name,
+        profile=profile,
+        bundle=bundle,
+        proximity_graph=graph,
+        entity_embeddings=embeddings,
+        bag_encoder=encoder,
+        train_encoded=train_encoded,
+        test_encoded=test_encoded,
+        evaluator=evaluator,
+        model_config=config.model,
+        training_config=config.training,
+        seed=seed,
+    )
+
+
+def train_and_evaluate(
+    context: ExperimentContext,
+    method_name: str,
+    use_cache: bool = True,
+) -> Tuple[RelationExtractionMethod, EvaluationResult]:
+    """Train one method on the context's training set and evaluate it.
+
+    Results are cached per (context, method name) so experiments that share a
+    context (Table IV, Figure 4, Figures 6-7) train each method only once.
+    """
+    key = method_name.lower()
+    if use_cache and key in context._method_cache:
+        return context._method_cache[key]
+
+    logger.info("training %s on %s", display_name(key), context.dataset_name)
+    method = build_method(
+        key,
+        vocab_size=context.vocab_size,
+        num_relations=context.num_relations,
+        model_config=context.model_config,
+        training_config=context.training_config,
+        kb=context.bundle.kb,
+        entity_embeddings=context.entity_embeddings,
+        seed=context.seed,
+    )
+    method.fit(context.train_encoded)
+    result = context.evaluator.evaluate(
+        method.predict_probabilities, model_name=display_name(key)
+    )
+    if use_cache:
+        context._method_cache[key] = (method, result)
+    return method, result
+
+
+def evaluate_methods(
+    context: ExperimentContext,
+    method_names: Sequence[str],
+) -> Dict[str, EvaluationResult]:
+    """Train and evaluate several methods on the same context."""
+    results: Dict[str, EvaluationResult] = {}
+    for name in method_names:
+        _, result = train_and_evaluate(context, name)
+        results[name] = result
+    return results

@@ -1,0 +1,73 @@
+"""Command-line runner for the experiment modules.
+
+Examples
+--------
+Run a single experiment at the default ("small") scale::
+
+    python -m repro.experiments.runner --experiment table4
+
+Run everything at the tiny (test) scale with a fixed seed::
+
+    python -m repro.experiments.runner --experiment all --profile tiny --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, Optional
+
+from ..config import ScaleProfile
+from . import ablations, case_study, figure1, figure4, figure5, figure6, figure7, table2, table3, table4
+
+PROFILES: Dict[str, Callable[[], ScaleProfile]] = {
+    "tiny": ScaleProfile.tiny,
+    "small": ScaleProfile.small,
+    "medium": ScaleProfile.medium,
+}
+
+EXPERIMENTS: Dict[str, Callable[..., str]] = {
+    "table2": table2.main,
+    "table3": lambda profile, seed: table3.main(profile),
+    "figure1": figure1.main,
+    "table4": table4.main,
+    "figure4": figure4.main,
+    "figure5": figure5.main,
+    "figure6": figure6.main,
+    "figure7": figure7.main,
+    "case_study": case_study.main,
+    "ablations": ablations.main,
+}
+
+
+def run_experiment(name: str, profile: ScaleProfile, seed: int) -> str:
+    """Run one named experiment and return its report."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment '{name}'; choose from {sorted(EXPERIMENTS)}")
+    runner = EXPERIMENTS[name]
+    if name == "table3":
+        return runner(profile, seed)
+    return runner(profile=profile, seed=seed)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description="Run the paper's experiments.")
+    parser.add_argument(
+        "--experiment",
+        default="table4",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--profile", default="small", choices=sorted(PROFILES))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    profile = PROFILES[args.profile]()
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"\n===== {name} (profile={profile.name}, seed={args.seed}) =====")
+        run_experiment(name, profile, args.seed)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

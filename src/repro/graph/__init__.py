@@ -1,0 +1,24 @@
+"""Entity proximity graph and LINE-style entity embeddings.
+
+This package implements the first stage of the paper's pipeline: building a
+weighted entity proximity graph from unlabeled-corpus co-occurrences and
+embedding its vertices with first- and second-order proximity objectives
+(Tang et al., LINE, 2015) so that implicit mutual relations between entity
+pairs are preserved as vector differences.
+"""
+
+from .alias import AliasSampler
+from .proximity import EntityProximityGraph
+from .line import LineEmbeddingTrainer, LineConfig
+from .embeddings import EntityEmbeddings, train_entity_embeddings
+from .propagation import propagate_embeddings
+
+__all__ = [
+    "AliasSampler",
+    "EntityProximityGraph",
+    "LineConfig",
+    "LineEmbeddingTrainer",
+    "EntityEmbeddings",
+    "train_entity_embeddings",
+    "propagate_embeddings",
+]

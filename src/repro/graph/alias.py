@@ -1,0 +1,63 @@
+"""Alias method for O(1) sampling from a discrete distribution.
+
+LINE samples millions of edges proportionally to their weight and negative
+vertices proportionally to degree^0.75; the alias method (Walker, 1977) makes
+both draws constant-time after linear-time preprocessing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class AliasSampler:
+    """Draw indices in proportion to a fixed vector of non-negative weights."""
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or weights.size == 0:
+            raise ValueError("weights must be a non-empty 1-D sequence")
+        if np.any(weights < 0):
+            raise ValueError("weights must be non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("at least one weight must be positive")
+
+        n = weights.size
+        probabilities = weights * n / total
+        self._n = n
+        self._prob = np.zeros(n, dtype=np.float64)
+        self._alias = np.zeros(n, dtype=np.int64)
+
+        small = [i for i in range(n) if probabilities[i] < 1.0]
+        large = [i for i in range(n) if probabilities[i] >= 1.0]
+        probabilities = probabilities.copy()
+        while small and large:
+            small_index = small.pop()
+            large_index = large.pop()
+            self._prob[small_index] = probabilities[small_index]
+            self._alias[small_index] = large_index
+            probabilities[large_index] -= 1.0 - probabilities[small_index]
+            if probabilities[large_index] < 1.0:
+                small.append(large_index)
+            else:
+                large.append(large_index)
+        # Whatever remains has probability (numerically) equal to 1.
+        for index in large + small:
+            self._prob[index] = 1.0
+            self._alias[index] = index
+
+    def __len__(self) -> int:
+        return self._n
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> np.ndarray:
+        """Draw ``size`` indices (or a single index when ``size`` is None)."""
+        count = 1 if size is None else int(size)
+        columns = rng.integers(self._n, size=count)
+        coins = rng.random(count)
+        picks = np.where(coins < self._prob[columns], columns, self._alias[columns])
+        if size is None:
+            return int(picks[0])
+        return picks

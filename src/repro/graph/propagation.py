@@ -1,0 +1,122 @@
+"""Graph-propagation refinement of the entity embeddings.
+
+The paper's future-work section notes that the LINE objectives "may fail for
+vertices that have few or even no edges" and proposes graph neural networks
+as the remedy.  This module implements the light-weight version of that idea:
+a parameter-free neighbourhood propagation (in the spirit of APPNP / LightGCN
+layers) that mixes every entity's embedding with the degree-normalised
+average of its neighbours' embeddings,
+
+.. math::
+
+    U^{(k+1)} = (1 - \\alpha) \\, \\hat{A} U^{(k)} + \\alpha U^{(0)},
+
+where :math:`\\hat{A}` is the symmetrically normalised weighted adjacency of
+the proximity graph and :math:`\\alpha` keeps a residual connection to the
+original vectors.  Low-degree entities inherit information from their
+neighbourhood while well-connected entities are barely changed, which is
+exactly the failure mode the paper wants to fix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import GraphError
+from .embeddings import EntityEmbeddings
+from .proximity import EntityProximityGraph
+
+
+def normalized_adjacency(graph: EntityProximityGraph) -> np.ndarray:
+    """Symmetrically normalised weighted adjacency matrix of the graph.
+
+    Returns ``D^{-1/2} (A + I) D^{-1/2}`` with self-loops added so isolated
+    rows stay well-defined; the matrix is dense, which is fine at the scale
+    of the synthetic corpora (a few hundred vertices).
+    """
+    n = graph.num_vertices
+    adjacency = np.zeros((n, n))
+    sources, targets, weights = graph.edge_arrays()
+    adjacency[sources, targets] = weights
+    adjacency[targets, sources] = weights
+    adjacency += np.eye(n)
+    degrees = adjacency.sum(axis=1)
+    inverse_sqrt = 1.0 / np.sqrt(degrees)
+    return adjacency * inverse_sqrt[:, None] * inverse_sqrt[None, :]
+
+
+def propagate_embeddings(
+    graph: EntityProximityGraph,
+    embeddings: EntityEmbeddings,
+    num_layers: int = 2,
+    alpha: float = 0.5,
+    renormalize: bool = True,
+) -> EntityEmbeddings:
+    """Smooth entity embeddings over the proximity graph.
+
+    Parameters
+    ----------
+    graph:
+        The finalised entity proximity graph.
+    embeddings:
+        Entity embeddings whose names are a superset of the graph's vertices
+        (typically the output of :func:`train_entity_embeddings`).
+    num_layers:
+        Number of propagation steps; 1-3 is typical, more over-smooths.
+    alpha:
+        Residual weight on the original embedding in every step
+        (``alpha = 1`` returns the input unchanged, ``alpha = 0`` is pure
+        neighbourhood averaging).
+    renormalize:
+        L2-normalise the propagated vectors, keeping them on the same scale
+        as the LINE output.
+
+    Returns
+    -------
+    A new :class:`EntityEmbeddings` over the graph's vertices.
+    """
+    if num_layers < 1:
+        raise GraphError("num_layers must be at least 1")
+    if not 0.0 <= alpha <= 1.0:
+        raise GraphError("alpha must be in [0, 1]")
+
+    names = graph.vertices
+    base = np.stack([embeddings.vector(name) for name in names])
+    adjacency = normalized_adjacency(graph)
+
+    current = base
+    for _ in range(num_layers):
+        current = (1.0 - alpha) * (adjacency @ current) + alpha * base
+
+    if renormalize:
+        norms = np.linalg.norm(current, axis=1, keepdims=True)
+        norms = np.where(norms == 0.0, 1.0, norms)
+        current = current / norms
+    return EntityEmbeddings(names, current)
+
+
+def low_degree_entities(
+    graph: EntityProximityGraph,
+    max_degree: float = 1.0,
+) -> list[str]:
+    """Entities whose weighted degree is at most ``max_degree``.
+
+    These are the vertices the paper expects plain LINE to handle poorly and
+    the ones that benefit most from :func:`propagate_embeddings`.
+    """
+    return [name for name in graph.vertices if graph.degree(name) <= max_degree]
+
+
+def embedding_shift(
+    before: EntityEmbeddings,
+    after: EntityEmbeddings,
+    name: str,
+) -> float:
+    """Cosine distance between an entity's embedding before and after propagation."""
+    a, b = before.vector(name), after.vector(name)
+    denominator = np.linalg.norm(a) * np.linalg.norm(b)
+    if denominator == 0:
+        return 1.0
+    return float(1.0 - a @ b / denominator)

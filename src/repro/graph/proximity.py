@@ -1,0 +1,219 @@
+"""The entity proximity graph.
+
+Vertices are entities; an edge connects two entities whose co-occurrence
+count in the unlabeled corpus reaches a threshold.  Edge weights follow the
+paper:
+
+.. math::
+
+    w_{ij} = \\frac{\\log(co_{ij})}{\\log(\\max_{k,l} co_{kl})}
+
+Entities with similar semantics end up with similar neighbourhoods in this
+graph, which is exactly what the second-order LINE objective preserves.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import GraphError
+
+try:  # networkx is an optional convenience for analysis / export.
+    import networkx as _nx
+except ImportError:  # pragma: no cover - networkx ships with the environment
+    _nx = None
+
+
+class EntityProximityGraph:
+    """Weighted, undirected co-occurrence graph over entity names."""
+
+    def __init__(self, min_cooccurrence: int = 1) -> None:
+        if min_cooccurrence < 1:
+            raise GraphError("min_cooccurrence must be >= 1")
+        self.min_cooccurrence = min_cooccurrence
+        self._counts: Dict[Tuple[str, str], int] = {}
+        self._weights: Dict[Tuple[str, str], float] = {}
+        self._adjacency: Dict[str, Dict[str, float]] = defaultdict(dict)
+        self._vertices: List[str] = []
+        self._vertex_index: Dict[str, int] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _key(first: str, second: str) -> Tuple[str, str]:
+        return (first, second) if first <= second else (second, first)
+
+    def add_cooccurrence(self, first: str, second: str, count: int = 1) -> None:
+        """Accumulate ``count`` co-occurrences between two entities."""
+        if self._finalized:
+            raise GraphError("graph already finalized; create a new one to add counts")
+        if first == second:
+            return
+        if count <= 0:
+            raise GraphError("co-occurrence count must be positive")
+        key = self._key(first, second)
+        self._counts[key] = self._counts.get(key, 0) + int(count)
+
+    def add_counts(self, counts: Mapping[Tuple[str, str], int]) -> None:
+        """Accumulate a mapping of pair -> co-occurrence count."""
+        for (first, second), count in counts.items():
+            self.add_cooccurrence(first, second, count)
+
+    @classmethod
+    def from_counts(
+        cls,
+        counts: Mapping[Tuple[str, str], int],
+        min_cooccurrence: int = 1,
+    ) -> "EntityProximityGraph":
+        """Build and finalise a graph directly from co-occurrence counts."""
+        graph = cls(min_cooccurrence=min_cooccurrence)
+        graph.add_counts(counts)
+        graph.finalize()
+        return graph
+
+    @classmethod
+    def from_sentences(
+        cls,
+        sentences: Iterable,
+        min_cooccurrence: int = 1,
+    ) -> "EntityProximityGraph":
+        """Build a graph from :class:`UnlabeledSentence`-like objects.
+
+        Any object exposing ``first_entity`` and ``second_entity`` works.
+        """
+        graph = cls(min_cooccurrence=min_cooccurrence)
+        for sentence in sentences:
+            graph.add_cooccurrence(sentence.first_entity, sentence.second_entity)
+        graph.finalize()
+        return graph
+
+    def finalize(self) -> "EntityProximityGraph":
+        """Apply the threshold, compute edge weights and freeze the graph."""
+        if self._finalized:
+            return self
+        kept = {
+            pair: count
+            for pair, count in self._counts.items()
+            if count >= self.min_cooccurrence
+        }
+        if not kept:
+            raise GraphError(
+                "no entity pair reaches the co-occurrence threshold "
+                f"({self.min_cooccurrence}); the proximity graph would be empty"
+            )
+        max_count = max(kept.values())
+        # Paper: w_ij = log(co_ij) / log(max co).  We add-one smooth both logs
+        # so that pairs with a single co-occurrence keep a strictly positive
+        # weight (otherwise they could never be sampled by the LINE trainer).
+        log_max = np.log1p(max_count)
+        for (first, second), count in kept.items():
+            weight = float(np.log1p(count) / log_max)
+            self._weights[(first, second)] = weight
+            self._adjacency[first][second] = weight
+            self._adjacency[second][first] = weight
+        self._vertices = sorted(self._adjacency.keys())
+        self._vertex_index = {name: i for i, name in enumerate(self._vertices)}
+        self._finalized = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def _require_finalized(self) -> None:
+        if not self._finalized:
+            raise GraphError("graph must be finalized before it is queried")
+
+    @property
+    def num_vertices(self) -> int:
+        self._require_finalized()
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        self._require_finalized()
+        return len(self._weights)
+
+    @property
+    def vertices(self) -> List[str]:
+        self._require_finalized()
+        return list(self._vertices)
+
+    def vertex_index(self, name: str) -> int:
+        self._require_finalized()
+        if name not in self._vertex_index:
+            raise KeyError(f"entity '{name}' is not in the proximity graph")
+        return self._vertex_index[name]
+
+    def has_vertex(self, name: str) -> bool:
+        self._require_finalized()
+        return name in self._vertex_index
+
+    def neighbors(self, name: str) -> Dict[str, float]:
+        """Neighbours of an entity with their edge weights."""
+        self._require_finalized()
+        return dict(self._adjacency.get(name, {}))
+
+    def degree(self, name: str) -> float:
+        """Weighted degree of an entity."""
+        self._require_finalized()
+        return float(sum(self._adjacency.get(name, {}).values()))
+
+    def cooccurrence(self, first: str, second: str) -> int:
+        """Raw co-occurrence count of a pair (0 if never seen)."""
+        return self._counts.get(self._key(first, second), 0)
+
+    def edge_weight(self, first: str, second: str) -> float:
+        """Normalised edge weight (0 if the edge does not exist)."""
+        self._require_finalized()
+        return self._weights.get(self._key(first, second), 0.0)
+
+    def edges(self) -> List[Tuple[str, str, float]]:
+        """All edges as (first, second, weight) triples."""
+        self._require_finalized()
+        return [(a, b, w) for (a, b), w in self._weights.items()]
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised edge list: (source indices, target indices, weights)."""
+        self._require_finalized()
+        sources = np.empty(self.num_edges, dtype=np.int64)
+        targets = np.empty(self.num_edges, dtype=np.int64)
+        weights = np.empty(self.num_edges, dtype=np.float64)
+        for i, ((first, second), weight) in enumerate(self._weights.items()):
+            sources[i] = self._vertex_index[first]
+            targets[i] = self._vertex_index[second]
+            weights[i] = weight
+        return sources, targets, weights
+
+    def degree_vector(self, power: float = 0.75) -> np.ndarray:
+        """Weighted degrees raised to ``power`` (LINE's noise distribution)."""
+        self._require_finalized()
+        degrees = np.array([self.degree(name) for name in self._vertices])
+        return degrees ** power
+
+    def common_neighbors(self, first: str, second: str) -> List[str]:
+        """Entities adjacent to both ``first`` and ``second``.
+
+        The paper uses the number of common neighbours as an intuitive measure
+        of semantic proximity (the Houston / Dallas example of Figure 3).
+        """
+        self._require_finalized()
+        neighbors_first = set(self._adjacency.get(first, {}))
+        neighbors_second = set(self._adjacency.get(second, {}))
+        return sorted(neighbors_first & neighbors_second)
+
+    def to_networkx(self):
+        """Export the graph to a :class:`networkx.Graph` (weights preserved)."""
+        self._require_finalized()
+        if _nx is None:  # pragma: no cover
+            raise GraphError("networkx is not available")
+        graph = _nx.Graph()
+        graph.add_nodes_from(self._vertices)
+        graph.add_weighted_edges_from(
+            (first, second, weight) for (first, second), weight in self._weights.items()
+        )
+        return graph

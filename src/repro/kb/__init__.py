@@ -1,0 +1,31 @@
+"""Knowledge-base substrate: relation schemas, entity types and synthetic KGs."""
+
+from .schema import (
+    COARSE_ENTITY_TYPES,
+    GDS_RELATIONS,
+    NA_RELATION,
+    NYT_RELATIONS,
+    RelationSchema,
+    RelationType,
+    build_relation_inventory,
+    gds_schema,
+    nyt_schema,
+)
+from .knowledge_base import Entity, KnowledgeBase, Triple
+from .generator import KnowledgeBaseGenerator
+
+__all__ = [
+    "COARSE_ENTITY_TYPES",
+    "NA_RELATION",
+    "NYT_RELATIONS",
+    "GDS_RELATIONS",
+    "RelationType",
+    "RelationSchema",
+    "build_relation_inventory",
+    "nyt_schema",
+    "gds_schema",
+    "Entity",
+    "Triple",
+    "KnowledgeBase",
+    "KnowledgeBaseGenerator",
+]

@@ -1,0 +1,282 @@
+"""Synthetic knowledge-base generator.
+
+The paper trains on NYT/GDS corpora derived from Freebase; offline we
+substitute a synthetic knowledge base whose *structural* properties match what
+the method exploits:
+
+* typed entities grouped into topical clusters (universities and the cities
+  they are located in, companies and founders, ...);
+* relation triples that respect per-relation entity-type constraints;
+* a mixture of related (positive) and unrelated (NA) entity pairs;
+* a small, named "case study" cluster (Seattle, University of Washington,
+  Stanford University, ...) so the qualitative experiment of Table V /
+  Figure 8 can be reproduced with recognisable entities.
+
+The distant-supervision corpus generator (:mod:`repro.corpus`) then turns the
+knowledge base into labelled sentence bags and an unlabeled corpus.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .knowledge_base import Entity, KnowledgeBase
+from .schema import NA_RELATION, RelationSchema
+
+# Entities used by the qualitative case study (paper Table V / Figure 8).
+CASE_STUDY_UNIVERSITIES: Tuple[str, ...] = (
+    "university_of_washington",
+    "stanford_university",
+    "university_of_southern_california",
+    "columbia_university",
+    "university_of_florida",
+    "northwestern_university",
+    "ohio_state_university",
+    "university_of_michigan",
+    "university_of_kentucky",
+    "brigham_young_university",
+)
+
+CASE_STUDY_CITIES: Tuple[str, ...] = (
+    "seattle",
+    "california",
+    "los_angeles",
+    "new_york_city",
+    "houston",
+    "dallas",
+    "atlanta",
+    "cleveland",
+    "washington",
+    "texas",
+)
+
+# (university, city) pairs that hold a locatedIn-style relation.
+CASE_STUDY_LOCATED_IN: Tuple[Tuple[str, str], ...] = (
+    ("university_of_washington", "seattle"),
+    ("stanford_university", "california"),
+    ("university_of_southern_california", "los_angeles"),
+    ("columbia_university", "new_york_city"),
+    ("university_of_florida", "atlanta"),
+    ("northwestern_university", "cleveland"),
+    ("ohio_state_university", "cleveland"),
+    ("university_of_michigan", "washington"),
+    ("university_of_kentucky", "texas"),
+    ("brigham_young_university", "houston"),
+)
+
+
+class KnowledgeBaseGenerator:
+    """Generate a synthetic, type-consistent knowledge base.
+
+    Parameters
+    ----------
+    schema:
+        Relation inventory with type constraints; triples always satisfy them.
+    num_entities:
+        Total number of entities to create (case-study entities included).
+    na_fraction:
+        Fraction of generated entity pairs that carry no relation (the NA
+        class); the NYT corpus is heavily NA-dominated, GDS less so.
+    cluster_size:
+        Approximate number of entities per topical cluster within a type;
+        triples preferentially connect entities of the same cluster, which is
+        what gives the entity proximity graph its informative neighbourhood
+        structure.
+    include_case_study:
+        Add the named university/city cluster used by the case-study
+        experiment.
+    seed:
+        Random seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        num_entities: int = 600,
+        na_fraction: float = 0.5,
+        cluster_size: int = 8,
+        include_case_study: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if num_entities < 20:
+            raise ConfigurationError("num_entities must be at least 20")
+        if not 0.0 <= na_fraction < 1.0:
+            raise ConfigurationError("na_fraction must be in [0, 1)")
+        if cluster_size < 2:
+            raise ConfigurationError("cluster_size must be at least 2")
+        self.schema = schema
+        self.num_entities = num_entities
+        self.na_fraction = na_fraction
+        self.cluster_size = cluster_size
+        self.include_case_study = include_case_study
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # Entity creation
+    # ------------------------------------------------------------------ #
+    def _types_in_use(self) -> List[str]:
+        """Coarse types referenced by at least one relation constraint."""
+        used: List[str] = []
+        for relation in self.schema:
+            if relation.name == NA_RELATION:
+                continue
+            for coarse_type in (relation.head_type, relation.tail_type):
+                if coarse_type not in used:
+                    used.append(coarse_type)
+        return used
+
+    def _type_weights(self, types: Sequence[str]) -> np.ndarray:
+        """Weight each type by how many relation slots reference it."""
+        counts = {coarse_type: 1 for coarse_type in types}
+        for relation in self.schema:
+            if relation.name == NA_RELATION:
+                continue
+            counts[relation.head_type] = counts.get(relation.head_type, 1) + 1
+            counts[relation.tail_type] = counts.get(relation.tail_type, 1) + 1
+        weights = np.array([counts[coarse_type] for coarse_type in types], dtype=float)
+        return weights / weights.sum()
+
+    def _create_entities(self, kb: KnowledgeBase) -> None:
+        next_cluster = 0
+        if self.include_case_study:
+            # Universities and cities form one shared topical cluster so their
+            # proximity-graph neighbourhoods overlap, as in the paper's example.
+            for name in CASE_STUDY_UNIVERSITIES:
+                kb.add_entity(name, types=("education", "organization"), cluster=next_cluster)
+            for name in CASE_STUDY_CITIES:
+                kb.add_entity(name, types=("location", "geography"), cluster=next_cluster)
+            next_cluster += 1
+
+        types = self._types_in_use()
+        weights = self._type_weights(types)
+        remaining = self.num_entities - kb.num_entities
+        counts = np.maximum(1, np.round(weights * remaining).astype(int))
+        # Adjust so the total matches exactly.
+        while counts.sum() > remaining:
+            counts[int(np.argmax(counts))] -= 1
+        while counts.sum() < remaining:
+            counts[int(np.argmin(counts))] += 1
+
+        for coarse_type, count in zip(types, counts):
+            for index in range(int(count)):
+                cluster = next_cluster + index // self.cluster_size
+                kb.add_entity(
+                    f"{coarse_type}_{index:04d}",
+                    types=(coarse_type,),
+                    cluster=cluster,
+                )
+            next_cluster += int(np.ceil(count / self.cluster_size)) + 1
+
+    # ------------------------------------------------------------------ #
+    # Triple creation
+    # ------------------------------------------------------------------ #
+    def _index_entities(self, kb: KnowledgeBase) -> Dict[str, List[Entity]]:
+        by_type: Dict[str, List[Entity]] = defaultdict(list)
+        for entity in kb.entities:
+            for coarse_type in entity.types:
+                by_type[coarse_type].append(entity)
+        return by_type
+
+    def _add_case_study_triples(self, kb: KnowledgeBase) -> None:
+        located_in_id = self._find_located_in_relation()
+        if located_in_id is None:
+            return
+        for university, city in CASE_STUDY_LOCATED_IN:
+            if kb.has_entity(university) and kb.has_entity(city):
+                kb.add_triple(
+                    kb.entity_by_name(university).entity_id,
+                    located_in_id,
+                    kb.entity_by_name(city).entity_id,
+                )
+
+    def _find_located_in_relation(self) -> Optional[int]:
+        """Find a relation constrained as (education, location) for the case study."""
+        for index in self.schema.positive_relation_ids():
+            head_type, tail_type = self.schema.type_constraint(index)
+            if head_type == "education" and tail_type == "location":
+                return index
+        # Fall back to any relation whose constraint the case-study entities satisfy.
+        for index in self.schema.positive_relation_ids():
+            head_type, tail_type = self.schema.type_constraint(index)
+            if head_type in ("education", "organization") and tail_type in ("location", "geography"):
+                return index
+        return None
+
+    def _sample_positive_pair(
+        self,
+        kb: KnowledgeBase,
+        by_type: Dict[str, List[Entity]],
+        relation_id: int,
+    ) -> Optional[Tuple[int, int]]:
+        head_type, tail_type = self.schema.type_constraint(relation_id)
+        heads = by_type.get(head_type, [])
+        tails = by_type.get(tail_type, [])
+        if not heads or not tails:
+            return None
+        head = heads[int(self._rng.integers(len(heads)))]
+        # Prefer a tail from the same cluster to create shared neighbourhoods.
+        same_cluster = [entity for entity in tails if entity.cluster == head.cluster]
+        pool = same_cluster if same_cluster and self._rng.random() < 0.7 else tails
+        tail = pool[int(self._rng.integers(len(pool)))]
+        if tail.entity_id == head.entity_id:
+            return None
+        return head.entity_id, tail.entity_id
+
+    def generate(self, num_entity_pairs: int) -> KnowledgeBase:
+        """Generate a knowledge base with roughly ``num_entity_pairs`` pairs."""
+        if num_entity_pairs < 4:
+            raise ConfigurationError("num_entity_pairs must be at least 4")
+        kb = KnowledgeBase(schema=self.schema)
+        self._create_entities(kb)
+        by_type = self._index_entities(kb)
+        if self.include_case_study:
+            self._add_case_study_triples(kb)
+
+        positive_ids = self.schema.positive_relation_ids()
+        target_positive = int(round(num_entity_pairs * (1.0 - self.na_fraction)))
+        target_na = num_entity_pairs - target_positive
+
+        seen_pairs = set(kb.entity_pairs())
+        attempts = 0
+        max_attempts = 50 * num_entity_pairs
+        while len(kb.triples) < target_positive and attempts < max_attempts:
+            attempts += 1
+            relation_id = positive_ids[int(self._rng.integers(len(positive_ids)))]
+            pair = self._sample_positive_pair(kb, by_type, relation_id)
+            if pair is None or pair in seen_pairs:
+                continue
+            kb.add_triple(pair[0], relation_id, pair[1])
+            seen_pairs.add(pair)
+
+        # NA pairs: unrelated entity pairs.  Most of them are *confusable*:
+        # their entity types satisfy some relation's constraint (two people who
+        # are unrelated, a person and a city they merely visited), so entity
+        # types alone cannot separate NA from positive pairs — as in real data.
+        na_added = 0
+        attempts = 0
+        while na_added < target_na and attempts < max_attempts:
+            attempts += 1
+            if self._rng.random() < 0.7:
+                relation_id = positive_ids[int(self._rng.integers(len(positive_ids)))]
+                pair = self._sample_positive_pair(kb, by_type, relation_id)
+                if pair is None:
+                    continue
+                head_id, tail_id = pair
+            else:
+                head_id = int(self._rng.integers(kb.num_entities))
+                tail_id = int(self._rng.integers(kb.num_entities))
+            if head_id == tail_id:
+                continue
+            if (head_id, tail_id) in seen_pairs:
+                continue
+            kb.add_triple(head_id, self.schema.na_id, tail_id)
+            seen_pairs.add((head_id, tail_id))
+            na_added += 1
+
+        kb.validate()
+        return kb

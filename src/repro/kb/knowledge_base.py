@@ -1,0 +1,191 @@
+"""In-memory knowledge base of typed entities and relation triples.
+
+The synthetic knowledge base plays the role Freebase plays in the paper: it
+is the source of distant-supervision labels, of entity types, and (through
+the unlabeled-corpus generator) of the co-occurrence structure that the
+entity proximity graph captures.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import DataError
+from .schema import RelationSchema
+
+
+@dataclass(frozen=True)
+class Entity:
+    """A knowledge-base entity with a surface name and coarse FIGER types."""
+
+    entity_id: int
+    name: str
+    types: Tuple[str, ...]
+    cluster: int = 0
+
+    @property
+    def primary_type(self) -> str:
+        """The first (most specific available) coarse type."""
+        return self.types[0]
+
+
+@dataclass(frozen=True)
+class Triple:
+    """A directed relation instance ``(head, relation, tail)``."""
+
+    head_id: int
+    relation_id: int
+    tail_id: int
+
+    @property
+    def pair(self) -> Tuple[int, int]:
+        return (self.head_id, self.tail_id)
+
+
+@dataclass
+class KnowledgeBase:
+    """Entities plus triples, with the relation schema that interprets them."""
+
+    schema: RelationSchema
+    entities: List[Entity] = field(default_factory=list)
+    triples: List[Triple] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._name_to_id: Dict[str, int] = {}
+        self._pair_relations: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
+        for entity in self.entities:
+            self._register_entity(entity)
+        for triple in self.triples:
+            self._register_triple(triple)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def _register_entity(self, entity: Entity) -> None:
+        if entity.name in self._name_to_id:
+            raise DataError(f"duplicate entity name '{entity.name}'")
+        if entity.entity_id != len(self._name_to_id):
+            raise DataError(
+                f"entity ids must be dense and ordered; got {entity.entity_id} "
+                f"at position {len(self._name_to_id)}"
+            )
+        self._name_to_id[entity.name] = entity.entity_id
+
+    def _register_triple(self, triple: Triple) -> None:
+        num_entities = len(self._name_to_id)
+        if not (0 <= triple.head_id < num_entities and 0 <= triple.tail_id < num_entities):
+            raise DataError(f"triple references unknown entity: {triple}")
+        if not 0 <= triple.relation_id < self.schema.num_relations:
+            raise DataError(f"triple references unknown relation id {triple.relation_id}")
+        self._pair_relations[triple.pair].add(triple.relation_id)
+
+    def add_entity(self, name: str, types: Sequence[str], cluster: int = 0) -> Entity:
+        """Create and register a new entity; returns it."""
+        entity = Entity(
+            entity_id=len(self.entities),
+            name=name,
+            types=tuple(types),
+            cluster=cluster,
+        )
+        self._register_entity(entity)
+        self.entities.append(entity)
+        return entity
+
+    def add_triple(self, head_id: int, relation_id: int, tail_id: int) -> Triple:
+        """Create and register a new triple; returns it."""
+        triple = Triple(head_id=head_id, relation_id=relation_id, tail_id=tail_id)
+        self._register_triple(triple)
+        self.triples.append(triple)
+        return triple
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_entities(self) -> int:
+        return len(self.entities)
+
+    @property
+    def num_triples(self) -> int:
+        return len(self.triples)
+
+    def entity_by_name(self, name: str) -> Entity:
+        if name not in self._name_to_id:
+            raise KeyError(f"unknown entity '{name}'")
+        return self.entities[self._name_to_id[name]]
+
+    def entity(self, entity_id: int) -> Entity:
+        return self.entities[entity_id]
+
+    def has_entity(self, name: str) -> bool:
+        return name in self._name_to_id
+
+    def relations_for_pair(self, head_id: int, tail_id: int) -> Set[int]:
+        """All relation ids that hold between the ordered pair (may be empty)."""
+        return set(self._pair_relations.get((head_id, tail_id), set()))
+
+    def entity_pairs(self) -> List[Tuple[int, int]]:
+        """All distinct ordered entity pairs that have at least one triple."""
+        return list(self._pair_relations.keys())
+
+    def entities_of_type(self, coarse_type: str) -> List[Entity]:
+        """All entities whose type set contains ``coarse_type``."""
+        return [entity for entity in self.entities if coarse_type in entity.types]
+
+    def triples_by_relation(self) -> Dict[int, List[Triple]]:
+        """Group triples by relation id."""
+        grouped: Dict[int, List[Triple]] = defaultdict(list)
+        for triple in self.triples:
+            grouped[triple.relation_id].append(triple)
+        return dict(grouped)
+
+    def iter_positive_triples(self) -> Iterator[Triple]:
+        """Iterate over triples whose relation is not NA."""
+        for triple in self.triples:
+            if triple.relation_id != self.schema.na_id:
+                yield triple
+
+    def type_pairs_for_relation(self, relation_id: int) -> Tuple[str, str]:
+        """Type constraint of a relation (delegates to the schema)."""
+        return self.schema.type_constraint(relation_id)
+
+    def validate(self) -> None:
+        """Check internal consistency; raises :class:`DataError` on problems."""
+        for triple in self.triples:
+            if triple.relation_id == self.schema.na_id:
+                continue
+            head_type, tail_type = self.schema.type_constraint(triple.relation_id)
+            head_entity = self.entities[triple.head_id]
+            tail_entity = self.entities[triple.tail_id]
+            if head_type not in head_entity.types:
+                raise DataError(
+                    f"triple {triple} violates head type constraint "
+                    f"{head_type} (entity has {head_entity.types})"
+                )
+            if tail_type not in tail_entity.types:
+                raise DataError(
+                    f"triple {triple} violates tail type constraint "
+                    f"{tail_type} (entity has {tail_entity.types})"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_entities_and_triples(
+        cls,
+        schema: RelationSchema,
+        entity_specs: Iterable[Tuple[str, Sequence[str]]],
+        triple_specs: Iterable[Tuple[str, str, str]],
+    ) -> "KnowledgeBase":
+        """Build a KB from (name, types) entity specs and (head, relation, tail) names."""
+        kb = cls(schema=schema)
+        for name, types in entity_specs:
+            kb.add_entity(name, types)
+        for head_name, relation_name, tail_name in triple_specs:
+            head = kb.entity_by_name(head_name)
+            tail = kb.entity_by_name(tail_name)
+            kb.add_triple(head.entity_id, schema.relation_id(relation_name), tail.entity_id)
+        return kb

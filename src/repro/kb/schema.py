@@ -1,0 +1,279 @@
+"""Relation and entity-type schemas.
+
+The paper uses two relation inventories:
+
+* **NYT** — 53 Freebase relations (including the NA "no relation" class)
+  obtained by aligning the New York Times corpus with Freebase.
+* **GDS** — 5 relations from the Google Distant Supervision corpus.
+
+Entity types follow FIGER (Ling & Weld, 2012): the paper keeps only the 38
+coarse types that form the first level of the FIGER hierarchy.  This module
+defines those inventories together with per-relation type constraints (e.g.
+``/people/person/place_of_birth`` holds between a *person* and a *location*),
+which both the synthetic knowledge-base generator and the entity-type
+confidence head rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+
+NA_RELATION = "NA"
+
+# The 38 coarse (first-level) FIGER entity types used by the paper.
+COARSE_ENTITY_TYPES: Tuple[str, ...] = (
+    "person",
+    "location",
+    "organization",
+    "art",
+    "building",
+    "event",
+    "product",
+    "time",
+    "language",
+    "education",
+    "broadcast_network",
+    "broadcast_program",
+    "news_agency",
+    "government",
+    "government_agency",
+    "military",
+    "written_work",
+    "music",
+    "play",
+    "film",
+    "award",
+    "body_part",
+    "chemistry",
+    "computer",
+    "disease",
+    "food",
+    "game",
+    "geography",
+    "god",
+    "internet",
+    "law",
+    "living_thing",
+    "medicine",
+    "metropolitan_transit",
+    "park",
+    "religion",
+    "train",
+    "transportation",
+)
+
+
+@dataclass(frozen=True)
+class RelationType:
+    """A relation label together with its entity-type constraints."""
+
+    name: str
+    head_type: str
+    tail_type: str
+    symmetric: bool = False
+
+    def __post_init__(self) -> None:
+        if self.name != NA_RELATION:
+            if self.head_type not in COARSE_ENTITY_TYPES:
+                raise ConfigurationError(f"unknown head type '{self.head_type}'")
+            if self.tail_type not in COARSE_ENTITY_TYPES:
+                raise ConfigurationError(f"unknown tail type '{self.tail_type}'")
+
+
+def _rel(name: str, head: str, tail: str, symmetric: bool = False) -> RelationType:
+    return RelationType(name=name, head_type=head, tail_type=tail, symmetric=symmetric)
+
+
+# A curated subset of the real NYT-10 Freebase relations with their natural
+# type constraints.  When an experiment asks for more relations than listed
+# here, synthetic domain relations are appended (see build_relation_inventory).
+NYT_RELATIONS: Tuple[RelationType, ...] = (
+    _rel("/location/location/contains", "location", "location"),
+    _rel("/people/person/nationality", "person", "location"),
+    _rel("/people/person/place_lived", "person", "location"),
+    _rel("/people/person/place_of_birth", "person", "location"),
+    _rel("/people/deceased_person/place_of_death", "person", "location"),
+    _rel("/business/person/company", "person", "organization"),
+    _rel("/location/neighborhood/neighborhood_of", "location", "location"),
+    _rel("/people/person/children", "person", "person"),
+    _rel("/location/administrative_division/country", "location", "location"),
+    _rel("/location/country/administrative_divisions", "location", "location"),
+    _rel("/business/company/founders", "organization", "person"),
+    _rel("/location/country/capital", "location", "location"),
+    _rel("/people/person/ethnicity", "person", "living_thing"),
+    _rel("/people/ethnicity/geographic_distribution", "living_thing", "location"),
+    _rel("/business/company/place_founded", "organization", "location"),
+    _rel("/people/person/religion", "person", "religion"),
+    _rel("/business/company_shareholder/major_shareholder_of", "person", "organization"),
+    _rel("/business/company/major_shareholders", "organization", "person"),
+    _rel("/people/person/profession", "person", "art"),
+    _rel("/business/company/advisors", "organization", "person"),
+    _rel("/people/family/members", "person", "person", symmetric=True),
+    _rel("/film/film/featured_film_locations", "film", "location"),
+    _rel("/time/event/locations", "event", "location"),
+    _rel("/film/film_location/featured_in_films", "location", "film"),
+    _rel("/education/educational_institution/campuses", "education", "location"),
+    _rel("/education/educational_institution/located_in", "education", "location"),
+    _rel("/people/person/education_institution", "person", "education"),
+    _rel("/organization/organization/headquarters", "organization", "location"),
+    _rel("/organization/organization/founded_in", "organization", "time"),
+    _rel("/sports/sports_team/location", "organization", "location"),
+    _rel("/sports/sports_team/arena_stadium", "organization", "building"),
+    _rel("/music/artist/origin", "music", "location"),
+    _rel("/book/author/works_written", "person", "written_work"),
+    _rel("/book/written_work/author", "written_work", "person"),
+    _rel("/film/director/film", "person", "film"),
+    _rel("/film/film/directed_by", "film", "person"),
+    _rel("/government/politician/office_held", "person", "government"),
+    _rel("/government/government_agency/jurisdiction", "government_agency", "location"),
+    _rel("/military/military_conflict/location", "military", "location"),
+    _rel("/award/award_winner/awards_won", "person", "award"),
+    _rel("/broadcast/broadcast_network/owner", "broadcast_network", "organization"),
+    _rel("/broadcast/program/network", "broadcast_program", "broadcast_network"),
+    _rel("/transportation/road/major_cities", "transportation", "location"),
+    _rel("/geography/river/mouth", "geography", "location"),
+    _rel("/geography/mountain/region", "geography", "location"),
+    _rel("/internet/website/owner", "internet", "organization"),
+    _rel("/law/court/jurisdiction", "law", "location"),
+    _rel("/medicine/hospital/location", "medicine", "location"),
+    _rel("/food/dish/cuisine_origin", "food", "location"),
+    _rel("/product/product_line/manufacturer", "product", "organization"),
+    _rel("/language/human_language/region", "language", "location"),
+    _rel("/park/park/location", "park", "location"),
+)
+
+# The 5 GDS relations (4 positive + NA), as in Jat et al. (2018).
+GDS_RELATIONS: Tuple[RelationType, ...] = (
+    _rel("/people/person/education_institution", "person", "education"),
+    _rel("/people/person/place_of_birth", "person", "location"),
+    _rel("/people/deceased_person/place_of_death", "person", "location"),
+    _rel("/people/person/education_degree", "person", "education"),
+)
+
+
+class RelationSchema:
+    """An ordered relation inventory with id assignment and type constraints.
+
+    Relation id 0 is always the NA relation, matching the convention of the
+    NYT/GDS datasets and of the held-out evaluation protocol (NA predictions
+    never contribute to the precision-recall curve).
+    """
+
+    def __init__(self, relations: Sequence[RelationType]) -> None:
+        names = [relation.name for relation in relations]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate relation names in schema")
+        if NA_RELATION in names:
+            raise ConfigurationError("NA is added automatically; do not include it")
+        self._relations: List[RelationType] = [
+            RelationType(name=NA_RELATION, head_type="person", tail_type="person")
+        ]
+        self._relations.extend(relations)
+        self._name_to_id: Dict[str, int] = {
+            relation.name: index for index, relation in enumerate(self._relations)
+        }
+
+    # ------------------------------------------------------------------ #
+    # Basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_relations(self) -> int:
+        return len(self._relations)
+
+    @property
+    def na_id(self) -> int:
+        return 0
+
+    @property
+    def relation_names(self) -> List[str]:
+        return [relation.name for relation in self._relations]
+
+    def positive_relation_ids(self) -> List[int]:
+        """Ids of all relations except NA."""
+        return list(range(1, self.num_relations))
+
+    def __len__(self) -> int:
+        return self.num_relations
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._name_to_id
+
+    def __iter__(self):
+        return iter(self._relations)
+
+    def relation_id(self, name: str) -> int:
+        if name not in self._name_to_id:
+            raise KeyError(f"unknown relation '{name}'")
+        return self._name_to_id[name]
+
+    def relation(self, index: int) -> RelationType:
+        return self._relations[index]
+
+    def relation_name(self, index: int) -> str:
+        return self._relations[index].name
+
+    def type_constraint(self, name_or_id) -> Tuple[str, str]:
+        """Return the (head_type, tail_type) constraint of a relation."""
+        if isinstance(name_or_id, str):
+            relation = self._relations[self.relation_id(name_or_id)]
+        else:
+            relation = self._relations[int(name_or_id)]
+        return relation.head_type, relation.tail_type
+
+    def compatible_relations(self, head_type: str, tail_type: str) -> List[int]:
+        """Relation ids whose type constraints match the given entity types.
+
+        NA is always compatible (any pair of entities may be unrelated).
+        """
+        matches = [self.na_id]
+        for index in self.positive_relation_ids():
+            relation = self._relations[index]
+            if relation.head_type == head_type and relation.tail_type == tail_type:
+                matches.append(index)
+        return matches
+
+
+def build_relation_inventory(
+    num_relations: int,
+    base: Sequence[RelationType] = NYT_RELATIONS,
+    extra_types: Optional[Sequence[str]] = None,
+) -> RelationSchema:
+    """Build a schema with ``num_relations`` relations including NA.
+
+    The first relations come from ``base`` (real NYT/GDS relation names); if
+    more are requested than the curated list provides, additional synthetic
+    domain relations are appended with type constraints cycled over the coarse
+    entity types so every relation remains type-consistent.
+    """
+    if num_relations < 2:
+        raise ConfigurationError("need at least 2 relations (NA plus one positive)")
+    positives_needed = num_relations - 1
+    relations: List[RelationType] = list(base[:positives_needed])
+    if len(relations) < positives_needed:
+        types = list(extra_types or COARSE_ENTITY_TYPES)
+        index = 0
+        while len(relations) < positives_needed:
+            head_type = types[index % len(types)]
+            tail_type = types[(index * 7 + 3) % len(types)]
+            relations.append(
+                RelationType(
+                    name=f"/synthetic/domain_{index}/relation_{index}",
+                    head_type=head_type,
+                    tail_type=tail_type,
+                )
+            )
+            index += 1
+    return RelationSchema(relations)
+
+
+def nyt_schema(num_relations: int = 53) -> RelationSchema:
+    """The NYT-style relation schema (53 relations including NA by default)."""
+    return build_relation_inventory(num_relations, base=NYT_RELATIONS)
+
+
+def gds_schema(num_relations: int = 5) -> RelationSchema:
+    """The GDS-style relation schema (5 relations including NA by default)."""
+    return build_relation_inventory(num_relations, base=GDS_RELATIONS)

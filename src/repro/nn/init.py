@@ -1,0 +1,94 @@
+"""Parameter initialisation schemes for the numpy neural-network substrate."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import get_default_dtype
+
+
+def xavier_uniform(
+    shape: Tuple[int, ...],
+    rng: Optional[np.random.Generator] = None,
+    gain: float = 1.0,
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation.
+
+    Fan-in and fan-out are computed from the first and last dimension which
+    matches how Linear / Conv1d weights are laid out in this library.
+    """
+    rng = rng or np.random.default_rng()
+    if len(shape) < 2:
+        fan_in = fan_out = int(shape[0])
+    else:
+        receptive = int(np.prod(shape[1:-1])) if len(shape) > 2 else 1
+        fan_in = int(shape[-1]) * receptive
+        fan_out = int(shape[0]) * receptive
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(get_default_dtype())
+
+
+def xavier_normal(
+    shape: Tuple[int, ...],
+    rng: Optional[np.random.Generator] = None,
+    gain: float = 1.0,
+) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    rng = rng or np.random.default_rng()
+    if len(shape) < 2:
+        fan_in = fan_out = int(shape[0])
+    else:
+        receptive = int(np.prod(shape[1:-1])) if len(shape) > 2 else 1
+        fan_in = int(shape[-1]) * receptive
+        fan_out = int(shape[0]) * receptive
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return (rng.standard_normal(shape) * std).astype(get_default_dtype())
+
+
+def uniform(
+    shape: Tuple[int, ...],
+    low: float = -0.1,
+    high: float = 0.1,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Uniform initialisation in ``[low, high)``."""
+    rng = rng or np.random.default_rng()
+    return rng.uniform(low, high, size=shape).astype(get_default_dtype())
+
+
+def normal(
+    shape: Tuple[int, ...],
+    mean: float = 0.0,
+    std: float = 0.01,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Gaussian initialisation."""
+    rng = rng or np.random.default_rng()
+    return (rng.standard_normal(shape) * std + mean).astype(get_default_dtype())
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zeros initialisation (biases)."""
+    return np.zeros(shape, dtype=get_default_dtype())
+
+
+def orthogonal(
+    shape: Tuple[int, ...],
+    rng: Optional[np.random.Generator] = None,
+    gain: float = 1.0,
+) -> np.ndarray:
+    """Orthogonal initialisation, used for recurrent weight matrices."""
+    rng = rng or np.random.default_rng()
+    if len(shape) < 2:
+        raise ValueError("orthogonal init requires at least a 2-D shape")
+    rows = shape[0]
+    cols = int(np.prod(shape[1:]))
+    flat = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    # Make the decomposition unique so results are deterministic given the rng.
+    q *= np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return (gain * q[:rows, :cols]).reshape(shape).astype(get_default_dtype())

@@ -1,0 +1,180 @@
+"""Module and Parameter abstractions for the numpy neural-network substrate.
+
+Mirrors the small subset of the ``torch.nn.Module`` behaviour the paper's
+models rely on: named parameter collection, recursive sub-module discovery,
+train/eval switching and state-dict (de)serialisation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable parameter of a module."""
+
+    def __init__(self, data, name: Optional[str] = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Sub-classes assign :class:`Parameter` and :class:`Module` instances as
+    attributes; they are discovered automatically for optimisation, gradient
+    zeroing and checkpointing.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # Attribute registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_parameter(self, name: str, param: Parameter) -> None:
+        """Explicitly register a parameter under ``name``."""
+        self._parameters[name] = param
+        object.__setattr__(self, name, param)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        """Explicitly register a sub-module under ``name``."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------ #
+    # Parameter iteration
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every trainable parameter of this module and its children."""
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs recursively."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all sub-modules depth-first."""
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------ #
+    # Training state
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout)."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Reset gradients of all parameters."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a flat mapping of parameter names to copies of their data."""
+        return {name: np.array(p.data, copy=True) for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter data from a mapping produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            if name not in state:
+                continue
+            value = np.asarray(state[name])
+            if value.shape != param.shape:
+                raise ValueError(
+                    f"shape mismatch for '{name}': checkpoint {value.shape} vs model {param.shape}"
+                )
+            param.data = value.astype(param.dtype, copy=True)
+
+    # ------------------------------------------------------------------ #
+    # Forward
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class ModuleList(Module):
+    """A list of sub-modules that registers each element properly."""
+
+    def __init__(self, modules=None) -> None:
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._items)), module)
+        self._items.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+
+class Sequential(Module):
+    """Apply sub-modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules:
+            self.add_module(str(len(self._items)), module)
+            self._items.append(module)
+
+    def forward(self, x):
+        for module in self._items:
+            x = module(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]

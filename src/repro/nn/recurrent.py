@@ -1,0 +1,125 @@
+"""Recurrent layers: GRU cell, unidirectional and bidirectional GRU.
+
+The paper attaches its implicit-mutual-relation component to RNN-based
+encoders (GRU + attention) as well as CNN-based ones, and the BGWA baseline
+(Jat et al., 2018) is built on a bidirectional GRU.  This module provides the
+recurrent substrate for those encoders.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, concatenate, stack, zeros
+
+
+class GRUCell(Module):
+    """A single gated-recurrent-unit step.
+
+    Update equations (Cho et al., 2014)::
+
+        r_t = sigmoid(x_t W_xr + h_{t-1} W_hr + b_r)
+        z_t = sigmoid(x_t W_xz + h_{t-1} W_hz + b_z)
+        n_t = tanh(x_t W_xn + r_t * (h_{t-1} W_hn) + b_n)
+        h_t = (1 - z_t) * n_t + z_t * h_{t-1}
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        rng = rng or np.random.default_rng()
+        # Input-to-hidden weights for the reset, update and candidate gates.
+        self.w_xr = Parameter(init.xavier_uniform((input_size, hidden_size), rng=rng))
+        self.w_xz = Parameter(init.xavier_uniform((input_size, hidden_size), rng=rng))
+        self.w_xn = Parameter(init.xavier_uniform((input_size, hidden_size), rng=rng))
+        # Hidden-to-hidden weights.
+        self.w_hr = Parameter(init.orthogonal((hidden_size, hidden_size), rng=rng))
+        self.w_hz = Parameter(init.orthogonal((hidden_size, hidden_size), rng=rng))
+        self.w_hn = Parameter(init.orthogonal((hidden_size, hidden_size), rng=rng))
+        # Biases.
+        self.b_r = Parameter(init.zeros((hidden_size,)))
+        self.b_z = Parameter(init.zeros((hidden_size,)))
+        self.b_n = Parameter(init.zeros((hidden_size,)))
+
+    def forward(self, x_t: Tensor, h_prev: Tensor) -> Tensor:
+        r_t = (x_t.matmul(self.w_xr) + h_prev.matmul(self.w_hr) + self.b_r).sigmoid()
+        z_t = (x_t.matmul(self.w_xz) + h_prev.matmul(self.w_hz) + self.b_z).sigmoid()
+        n_t = (x_t.matmul(self.w_xn) + r_t * h_prev.matmul(self.w_hn) + self.b_n).tanh()
+        one = Tensor(np.ones_like(z_t.data))
+        return (one - z_t) * n_t + z_t * h_prev
+
+
+class GRU(Module):
+    """Unidirectional GRU over a padded batch of sequences.
+
+    Input shape is ``(batch, length, input_size)``; the output is the stack of
+    hidden states ``(batch, length, hidden_size)``.  A boolean ``mask`` keeps
+    the hidden state frozen on padding positions so padded batches produce the
+    same final states as unpadded ones.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        batch, length, _ = x.shape
+        h = zeros((batch, self.hidden_size))
+        outputs = []
+        for t in range(length):
+            x_t = x[:, t, :]
+            h_new = self.cell(x_t, h)
+            if mask is not None:
+                keep = np.asarray(mask[:, t], dtype=x.dtype)[:, None]
+                keep_t = Tensor(keep)
+                one = Tensor(np.ones_like(keep))
+                h = h_new * keep_t + h * (one - keep_t)
+            else:
+                h = h_new
+            outputs.append(h)
+        return stack(outputs, axis=1)
+
+
+class BiGRU(Module):
+    """Bidirectional GRU; forward and backward hidden states are concatenated."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.forward_gru = GRU(input_size, hidden_size, rng=rng)
+        self.backward_gru = GRU(input_size, hidden_size, rng=rng)
+
+    @property
+    def output_size(self) -> int:
+        return 2 * self.hidden_size
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        forward_states = self.forward_gru(x, mask=mask)
+        reversed_x = x[:, ::-1, :]
+        reversed_mask = None if mask is None else np.asarray(mask)[:, ::-1]
+        backward_states = self.backward_gru(reversed_x, mask=reversed_mask)
+        backward_states = backward_states[:, ::-1, :]
+        return concatenate([forward_states, backward_states], axis=2)

@@ -1,0 +1,16 @@
+"""Text substrate: vocabulary, tokenisation and relative-position features."""
+
+from .vocab import Vocabulary, PAD_TOKEN, UNK_TOKEN
+from .tokenizer import WhitespaceTokenizer, simple_tokenize
+from .position import relative_positions, clip_position, segment_ids_for_entities
+
+__all__ = [
+    "Vocabulary",
+    "PAD_TOKEN",
+    "UNK_TOKEN",
+    "WhitespaceTokenizer",
+    "simple_tokenize",
+    "relative_positions",
+    "clip_position",
+    "segment_ids_for_entities",
+]

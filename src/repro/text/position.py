@@ -1,0 +1,100 @@
+"""Relative-position features for sentence encoders.
+
+Following Zeng et al. (2014, 2015) each token is annotated with its signed
+distance to the head and to the tail entity mention.  The distances are
+clipped to ``[-max_distance, max_distance]`` and shifted to non-negative ids
+so they can index a position-embedding table.  The PCNN encoder additionally
+needs per-token segment ids (before head / between / after tail) for its
+piecewise max pooling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def clip_position(distance: int, max_distance: int) -> int:
+    """Clip a signed distance and shift it into ``[0, 2 * max_distance]``."""
+    clipped = max(-max_distance, min(max_distance, distance))
+    return clipped + max_distance
+
+
+def relative_positions(
+    length: int,
+    head_index: int,
+    tail_index: int,
+    max_distance: int,
+) -> Tuple[List[int], List[int]]:
+    """Return position-feature ids of every token relative to both entities.
+
+    Parameters
+    ----------
+    length:
+        Number of tokens in the sentence.
+    head_index, tail_index:
+        Token positions of the head and tail entity mentions.
+    max_distance:
+        Clipping distance; the id vocabulary has ``2 * max_distance + 1``
+        entries.
+    """
+    if length <= 0:
+        raise ValueError("sentence length must be positive")
+    if not 0 <= head_index < length or not 0 <= tail_index < length:
+        raise ValueError(
+            f"entity positions ({head_index}, {tail_index}) outside sentence of length {length}"
+        )
+    head_positions = [clip_position(i - head_index, max_distance) for i in range(length)]
+    tail_positions = [clip_position(i - tail_index, max_distance) for i in range(length)]
+    return head_positions, tail_positions
+
+
+def num_position_ids(max_distance: int) -> int:
+    """Size of the position-embedding vocabulary for a given clip distance."""
+    return 2 * max_distance + 1
+
+
+def segment_ids_for_entities(
+    length: int,
+    head_index: int,
+    tail_index: int,
+) -> np.ndarray:
+    """Segment id (0, 1, 2) of every token for PCNN piecewise pooling.
+
+    Segment 0 covers tokens up to and including the first entity mention,
+    segment 1 the span between the two mentions (inclusive of the second),
+    and segment 2 everything after — the convention of Zeng et al. (2015).
+    """
+    if length <= 0:
+        raise ValueError("sentence length must be positive")
+    if not 0 <= head_index < length or not 0 <= tail_index < length:
+        raise ValueError(
+            f"entity positions ({head_index}, {tail_index}) outside sentence of length {length}"
+        )
+    first, second = sorted((head_index, tail_index))
+    segments = np.empty(length, dtype=np.int64)
+    segments[: first + 1] = 0
+    segments[first + 1: second + 1] = 1
+    segments[second + 1:] = 2
+    return segments
+
+
+def pad_sequences(
+    sequences: Sequence[Sequence[int]],
+    max_length: int,
+    pad_value: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pad/truncate integer sequences to ``max_length``.
+
+    Returns the padded id matrix ``(n, max_length)`` and a boolean validity
+    mask of the same shape.
+    """
+    n = len(sequences)
+    padded = np.full((n, max_length), pad_value, dtype=np.int64)
+    mask = np.zeros((n, max_length), dtype=bool)
+    for i, sequence in enumerate(sequences):
+        trimmed = list(sequence)[:max_length]
+        padded[i, : len(trimmed)] = trimmed
+        mask[i, : len(trimmed)] = True
+    return padded, mask

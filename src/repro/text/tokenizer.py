@@ -1,0 +1,40 @@
+"""Tokenisation of sentences.
+
+The synthetic corpora are generated already tokenised, but user-facing entry
+points (quickstart example, ad-hoc predictions) accept raw strings; this
+module provides the whitespace/punctuation tokeniser used for them.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_TOKEN_PATTERN = re.compile(r"[A-Za-z0-9_']+|[.,!?;:()\"-]")
+
+
+def simple_tokenize(text: str, lowercase: bool = True) -> List[str]:
+    """Split ``text`` into word and punctuation tokens.
+
+    Multi-word entity mentions should be pre-joined with underscores (the
+    synthetic corpus generator does this), so an entity always occupies a
+    single token position — matching how the NYT corpus is pre-processed in
+    the original OpenNRE pipeline.
+    """
+    if lowercase:
+        text = text.lower()
+    return _TOKEN_PATTERN.findall(text)
+
+
+class WhitespaceTokenizer:
+    """A minimal configurable tokeniser."""
+
+    def __init__(self, lowercase: bool = True) -> None:
+        self.lowercase = lowercase
+
+    def __call__(self, text: str) -> List[str]:
+        return self.tokenize(text)
+
+    def tokenize(self, text: str) -> List[str]:
+        """Tokenise ``text`` using the library's default token pattern."""
+        return simple_tokenize(text, lowercase=self.lowercase)

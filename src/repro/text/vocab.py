@@ -1,0 +1,120 @@
+"""Vocabulary mapping tokens to integer ids.
+
+The word embeddings of the sentence encoders index into a vocabulary built
+from the training corpus; unknown words map to a dedicated UNK id and padding
+to id 0 so embedding row 0 can stay zero.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+PAD_TOKEN = "<pad>"
+UNK_TOKEN = "<unk>"
+
+
+class Vocabulary:
+    """A bidirectional token <-> id mapping with frequency-based construction."""
+
+    def __init__(self, tokens: Optional[Iterable[str]] = None) -> None:
+        self._token_to_id: Dict[str, int] = {}
+        self._id_to_token: List[str] = []
+        # Reserved ids: padding first so embedding row 0 is the pad vector.
+        self.add(PAD_TOKEN)
+        self.add(UNK_TOKEN)
+        if tokens is not None:
+            for token in tokens:
+                self.add(token)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add(self, token: str) -> int:
+        """Add ``token`` if missing and return its id."""
+        if token in self._token_to_id:
+            return self._token_to_id[token]
+        index = len(self._id_to_token)
+        self._token_to_id[token] = index
+        self._id_to_token.append(token)
+        return index
+
+    @classmethod
+    def from_corpus(
+        cls,
+        sentences: Iterable[Sequence[str]],
+        min_frequency: int = 1,
+        max_size: Optional[int] = None,
+    ) -> "Vocabulary":
+        """Build a vocabulary from tokenised sentences.
+
+        Tokens occurring fewer than ``min_frequency`` times map to UNK; at
+        most ``max_size`` tokens (by descending frequency, ties broken
+        alphabetically for determinism) are kept.
+        """
+        counts: Counter[str] = Counter()
+        for sentence in sentences:
+            counts.update(sentence)
+        eligible = [
+            (token, count) for token, count in counts.items() if count >= min_frequency
+        ]
+        eligible.sort(key=lambda item: (-item[1], item[0]))
+        if max_size is not None:
+            eligible = eligible[:max_size]
+        vocab = cls()
+        for token, _ in eligible:
+            vocab.add(token)
+        return vocab
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK_TOKEN]
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_token)
+
+    def token_to_id(self, token: str) -> int:
+        """Return the id of ``token``, or the UNK id if it is unknown."""
+        return self._token_to_id.get(token, self.unk_id)
+
+    def id_to_token(self, index: int) -> str:
+        """Return the token for ``index``; raises IndexError when out of range."""
+        return self._id_to_token[index]
+
+    def encode(self, tokens: Sequence[str]) -> List[int]:
+        """Map a tokenised sentence to a list of ids."""
+        return [self.token_to_id(token) for token in tokens]
+
+    def decode(self, ids: Sequence[int]) -> List[str]:
+        """Map a list of ids back to tokens."""
+        return [self.id_to_token(index) for index in ids]
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_list(self) -> List[str]:
+        """Return the id-ordered token list (for JSON round-tripping)."""
+        return list(self._id_to_token)
+
+    @classmethod
+    def from_list(cls, tokens: Sequence[str]) -> "Vocabulary":
+        """Rebuild a vocabulary from :meth:`to_list` output."""
+        if len(tokens) < 2 or tokens[0] != PAD_TOKEN or tokens[1] != UNK_TOKEN:
+            raise ValueError("token list must start with the PAD and UNK tokens")
+        vocab = cls()
+        for token in tokens[2:]:
+            vocab.add(token)
+        return vocab

@@ -1,0 +1,6 @@
+"""Training harness for the bag-level relation extraction models."""
+
+from .trainer import Trainer, TrainingResult
+from .callbacks import EarlyStopping, LossHistory
+
+__all__ = ["Trainer", "TrainingResult", "EarlyStopping", "LossHistory"]

@@ -1,0 +1,53 @@
+"""Training callbacks: loss tracking and early stopping."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class LossHistory:
+    """Records per-batch and per-epoch training losses."""
+
+    def __init__(self) -> None:
+        self.batch_losses: List[float] = []
+        self.epoch_losses: List[float] = []
+        self._current_epoch: List[float] = []
+
+    def record_batch(self, loss: float) -> None:
+        self.batch_losses.append(float(loss))
+        self._current_epoch.append(float(loss))
+
+    def end_epoch(self) -> float:
+        """Close the current epoch and return its mean loss."""
+        if self._current_epoch:
+            mean_loss = sum(self._current_epoch) / len(self._current_epoch)
+        else:
+            mean_loss = float("nan")
+        self.epoch_losses.append(mean_loss)
+        self._current_epoch = []
+        return mean_loss
+
+    @property
+    def last_epoch_loss(self) -> Optional[float]:
+        return self.epoch_losses[-1] if self.epoch_losses else None
+
+
+class EarlyStopping:
+    """Stop training when the epoch loss stops improving."""
+
+    def __init__(self, patience: int = 2, min_delta: float = 1e-4) -> None:
+        if patience < 1:
+            raise ValueError("patience must be at least 1")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best_loss = float("inf")
+        self.bad_epochs = 0
+
+    def should_stop(self, epoch_loss: float) -> bool:
+        """Update the tracker with the latest epoch loss; True when out of patience."""
+        if epoch_loss < self.best_loss - self.min_delta:
+            self.best_loss = epoch_loss
+            self.bad_epochs = 0
+            return False
+        self.bad_epochs += 1
+        return self.bad_epochs >= self.patience

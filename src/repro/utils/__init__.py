@@ -1,0 +1,18 @@
+"""Shared utilities: seeding, logging, serialization and progress reporting."""
+
+from .rng import SeedSequenceFactory, new_rng, spawn_rngs
+from .serialization import load_json, load_npz, save_json, save_npz
+from .logging import get_logger
+from .tables import format_table
+
+__all__ = [
+    "new_rng",
+    "spawn_rngs",
+    "SeedSequenceFactory",
+    "save_npz",
+    "load_npz",
+    "save_json",
+    "load_json",
+    "get_logger",
+    "format_table",
+]

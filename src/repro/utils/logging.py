@@ -1,0 +1,34 @@
+"""Thin logging helpers with a library-wide namespace."""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace, configuring it lazily."""
+    global _configured
+    if not _configured:
+        root = logging.getLogger(_ROOT_NAME)
+        if not root.handlers:
+            handler = logging.StreamHandler()
+            handler.setFormatter(
+                logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+            )
+            root.addHandler(handler)
+            root.setLevel(logging.INFO)
+        _configured = True
+    if name is None:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_verbosity(level: int) -> None:
+    """Set the log level for the whole library."""
+    get_logger().setLevel(level)

@@ -1,0 +1,267 @@
+"""Tests for the neural-network functional ops (values + gradients)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestSoftmaxFamily:
+    def test_softmax_sums_to_one(self):
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 5)))
+        out = F.softmax(x, axis=-1).data
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(3), rtol=1e-10)
+
+    def test_softmax_is_shift_invariant(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, rtol=1e-10)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(np.random.default_rng(1).standard_normal((2, 4)))
+        np.testing.assert_allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data), rtol=1e-10
+        )
+
+    def test_softmax_gradient_numeric(self, gradcheck):
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.standard_normal((2, 4)), requires_grad=True)
+        coefficients = rng.standard_normal((2, 4))
+
+        def loss():
+            x.grad = None
+            return (F.softmax(x, axis=-1) * Tensor(coefficients)).sum()
+
+        loss().backward()
+        analytic = x.grad.copy()
+        numeric = gradcheck(lambda: float(loss().data), x.data)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-8)
+
+    def test_masked_softmax_zeroes_masked_positions(self):
+        x = Tensor(np.ones((2, 4)))
+        mask = np.array([[True, True, False, False], [True, False, False, False]])
+        out = F.masked_softmax(x, mask).data
+        assert np.all(out[:, 2:] == 0) or out[0, 2] == 0
+        np.testing.assert_allclose(out[0, :2], [0.5, 0.5])
+        np.testing.assert_allclose(out[1, 0], 1.0)
+
+    def test_masked_softmax_sums_to_one_on_valid_rows(self):
+        x = Tensor(np.random.default_rng(3).standard_normal((3, 5)))
+        mask = np.ones((3, 5), dtype=bool)
+        mask[1, 3:] = False
+        out = F.masked_softmax(x, mask).data
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(3), rtol=1e-9)
+
+
+class TestLosses:
+    def test_cross_entropy_perfect_prediction_is_small(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert float(loss.data) < 1e-4
+
+    def test_cross_entropy_uniform_prediction(self):
+        logits = Tensor(np.zeros((4, 3)))
+        loss = F.cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert float(loss.data) == pytest.approx(np.log(3), rel=1e-6)
+
+    def test_cross_entropy_requires_2d(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros(3)), np.array([0]))
+
+    def test_cross_entropy_class_weights_change_loss(self):
+        logits = Tensor(np.zeros((2, 2)))
+        targets = np.array([0, 1])
+        unweighted = float(F.cross_entropy(logits, targets).data)
+        weighted = float(F.cross_entropy(logits, targets, weight=np.array([0.1, 1.0])).data)
+        assert unweighted == pytest.approx(weighted, rel=1e-6)  # symmetric case
+        skewed = float(
+            F.cross_entropy(Tensor(np.array([[2.0, 0.0], [2.0, 0.0]])), targets,
+                            weight=np.array([0.1, 1.0])).data
+        )
+        assert skewed > 0  # dominated by the mis-classified weighted class
+
+    def test_cross_entropy_gradient_numeric(self, gradcheck):
+        rng = np.random.default_rng(4)
+        logits = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        targets = np.array([0, 2, 4, 1])
+        weight = np.array([0.25, 1.0, 1.0, 1.0, 0.5])
+
+        def loss():
+            logits.grad = None
+            return F.cross_entropy(logits, targets, weight=weight)
+
+        loss().backward()
+        analytic = logits.grad.copy()
+        numeric = gradcheck(lambda: float(loss().data), logits.data)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-8)
+
+    def test_nll_loss_matches_cross_entropy(self):
+        rng = np.random.default_rng(5)
+        logits = Tensor(rng.standard_normal((3, 4)))
+        targets = np.array([1, 0, 3])
+        ce = float(F.cross_entropy(logits, targets).data)
+        nll = float(F.nll_loss(F.log_softmax(logits), targets).data)
+        assert ce == pytest.approx(nll, rel=1e-8)
+
+    def test_binary_cross_entropy_with_logits_matches_reference(self):
+        logits = Tensor(np.array([0.0, 2.0, -2.0]))
+        targets = np.array([1.0, 1.0, 0.0])
+        expected = -(
+            np.log(1 / (1 + np.exp(-0.0))) + np.log(1 / (1 + np.exp(-2.0))) + np.log(1 - 1 / (1 + np.exp(2.0)))
+        ) / 3
+        assert float(F.binary_cross_entropy_with_logits(logits, targets).data) == pytest.approx(
+            expected, rel=1e-6
+        )
+
+    def test_mse_loss(self):
+        pred = Tensor(np.array([1.0, 3.0]))
+        assert float(F.mse_loss(pred, np.array([1.0, 1.0])).data) == pytest.approx(2.0)
+
+
+class TestEmbeddingAndDropout:
+    def test_embedding_lookup_shape_and_values(self):
+        weight = Tensor(np.arange(12.0).reshape(4, 3))
+        out = F.embedding_lookup(weight, np.array([[0, 3], [1, 1]]))
+        assert out.shape == (2, 2, 3)
+        np.testing.assert_allclose(out.data[0, 1], [9.0, 10.0, 11.0])
+
+    def test_embedding_gradient_accumulates_repeated_indices(self):
+        weight = Tensor(np.zeros((3, 2)), requires_grad=True)
+        out = F.embedding_lookup(weight, np.array([1, 1, 2]))
+        out.sum().backward()
+        np.testing.assert_allclose(weight.grad, [[0, 0], [2, 2], [1, 1]])
+
+    def test_dropout_eval_is_identity(self):
+        x = Tensor(np.ones((5, 5)))
+        out = F.dropout(x, p=0.5, training=False)
+        assert out is x
+
+    def test_dropout_training_scales_survivors(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 10)))
+        out = F.dropout(x, p=0.5, training=True, rng=rng).data
+        assert set(np.round(np.unique(out), 6)).issubset({0.0, 2.0})
+        assert out.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_dropout_rejects_p_one(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), p=1.0, training=True)
+
+
+class TestConvolutionAndPooling:
+    def test_conv1d_output_shape(self):
+        x = Tensor(np.zeros((2, 10, 4)))
+        w = Tensor(np.zeros((6, 3, 4)))
+        out = F.conv1d(x, w, padding=1)
+        assert out.shape == (2, 10, 6)
+
+    def test_conv1d_no_padding_shrinks_length(self):
+        out = F.conv1d(Tensor(np.zeros((1, 5, 2))), Tensor(np.zeros((3, 3, 2))))
+        assert out.shape == (1, 3, 3)
+
+    def test_conv1d_rejects_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            F.conv1d(Tensor(np.zeros((1, 5, 2))), Tensor(np.zeros((3, 3, 4))))
+
+    def test_conv1d_rejects_too_short_sequence(self):
+        with pytest.raises(ValueError):
+            F.conv1d(Tensor(np.zeros((1, 2, 2))), Tensor(np.zeros((3, 5, 2))))
+
+    def test_conv1d_matches_manual_computation(self):
+        x = Tensor(np.arange(8.0).reshape(1, 4, 2))
+        w = Tensor(np.ones((1, 2, 2)))
+        out = F.conv1d(x, w)
+        expected = [[0 + 1 + 2 + 3], [2 + 3 + 4 + 5], [4 + 5 + 6 + 7]]
+        np.testing.assert_allclose(out.data[0], expected)
+
+    def test_max_pool_sequence_respects_mask(self):
+        x = np.zeros((1, 3, 2))
+        x[0, 2] = 100.0  # masked position should be ignored
+        x[0, 1] = 1.0
+        mask = np.array([[True, True, False]])
+        out = F.max_pool_sequence(Tensor(x), mask=mask)
+        np.testing.assert_allclose(out.data, [[1.0, 1.0]])
+
+    def test_piecewise_max_pool_output_dim(self):
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 6, 4)))
+        segments = np.array([[0, 0, 1, 1, 2, 2], [0, 1, 1, 2, -1, -1]])
+        out = F.piecewise_max_pool(x, segments)
+        assert out.shape == (2, 12)
+
+    def test_piecewise_max_pool_empty_segment_is_zero(self):
+        x = Tensor(np.ones((1, 3, 2)))
+        segments = np.array([[0, 0, 1]])  # segment 2 empty
+        out = F.piecewise_max_pool(x, segments).data
+        np.testing.assert_allclose(out[0, 4:], [0.0, 0.0])
+
+    def test_piecewise_max_pool_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            F.piecewise_max_pool(Tensor(np.ones((1, 3, 2))), np.zeros((2, 3), dtype=int))
+
+    def test_conv_gradient_numeric(self, gradcheck):
+        rng = np.random.default_rng(6)
+        x = Tensor(rng.standard_normal((2, 5, 3)), requires_grad=True)
+        w = Tensor(rng.standard_normal((2, 3, 3)) * 0.5, requires_grad=True)
+        coefficients = rng.standard_normal((2, 5, 2))
+
+        def loss():
+            x.grad = None
+            w.grad = None
+            return (F.conv1d(x, w, padding=1) * Tensor(coefficients)).sum()
+
+        loss().backward()
+        analytic_w = w.grad.copy()
+        numeric_w = gradcheck(lambda: float(loss().data), w.data)
+        np.testing.assert_allclose(analytic_w, numeric_w, rtol=1e-5, atol=1e-7)
+
+
+class TestAttentionHelpers:
+    def test_selective_attention_scores_shape(self):
+        reprs = Tensor(np.random.default_rng(0).standard_normal((4, 6)))
+        query = Tensor(np.ones(6))
+        diag = Tensor(np.ones(6))
+        scores = F.selective_attention_scores(reprs, query, diag)
+        assert scores.shape == (4,)
+
+    def test_bag_attention_pool_is_convex_combination(self):
+        reprs = Tensor(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        scores = Tensor(np.array([0.0, 0.0]))
+        pooled = F.bag_attention_pool(reprs, scores).data
+        np.testing.assert_allclose(pooled, [0.5, 0.5])
+
+    def test_average_pool(self):
+        reprs = Tensor(np.array([[2.0, 0.0], [0.0, 2.0]]))
+        np.testing.assert_allclose(F.average_pool(reprs).data, [1.0, 1.0])
+
+    def test_l2_normalize_unit_norm(self):
+        x = Tensor(np.array([[3.0, 4.0]]))
+        normed = F.l2_normalize(x).data
+        assert np.linalg.norm(normed) == pytest.approx(1.0, rel=1e-6)
+
+
+class TestPropertyBased:
+    @given(st.integers(2, 6), st.integers(2, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_softmax_rows_are_distributions(self, rows, cols):
+        rng = np.random.default_rng(rows * 7 + cols)
+        out = F.softmax(Tensor(rng.standard_normal((rows, cols))), axis=-1).data
+        assert np.all(out >= 0)
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(rows), rtol=1e-8)
+
+    @given(st.integers(1, 5), st.integers(2, 5), st.integers(2, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_piecewise_pool_upper_bounded_by_global_max(self, batch, length, channels):
+        rng = np.random.default_rng(batch * 100 + length * 10 + channels)
+        x = rng.standard_normal((batch, length, channels))
+        segments = rng.integers(0, 3, size=(batch, length))
+        pooled = F.piecewise_max_pool(Tensor(x), segments).data
+        # Every pooled value is either a real maximum of its segment (bounded
+        # by the per-sentence global max) or 0 for an empty segment.
+        per_sentence_bound = np.maximum(x.max(axis=(1, 2)), 0.0)
+        assert np.all(pooled.max(axis=1) <= per_sentence_bound + 1e-12)

@@ -1,0 +1,55 @@
+"""Tests for parameter initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestInitializers:
+    def test_xavier_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        weights = init.xavier_uniform((50, 20), rng=rng)
+        limit = np.sqrt(6.0 / 70)
+        assert weights.shape == (50, 20)
+        assert np.all(np.abs(weights) <= limit + 1e-12)
+
+    def test_xavier_normal_scale(self):
+        rng = np.random.default_rng(1)
+        weights = init.xavier_normal((200, 100), rng=rng)
+        expected_std = np.sqrt(2.0 / 300)
+        assert weights.std() == pytest.approx(expected_std, rel=0.15)
+
+    def test_uniform_range(self):
+        weights = init.uniform((100,), low=-0.2, high=0.2, rng=np.random.default_rng(2))
+        assert np.all(weights >= -0.2) and np.all(weights < 0.2)
+
+    def test_normal_mean_std(self):
+        weights = init.normal((2000,), mean=1.0, std=0.1, rng=np.random.default_rng(3))
+        assert weights.mean() == pytest.approx(1.0, abs=0.02)
+        assert weights.std() == pytest.approx(0.1, rel=0.1)
+
+    def test_zeros(self):
+        assert np.all(init.zeros((3, 3)) == 0)
+
+    def test_orthogonal_columns(self):
+        rng = np.random.default_rng(4)
+        weights = init.orthogonal((6, 6), rng=rng)
+        product = weights @ weights.T
+        np.testing.assert_allclose(product, np.eye(6), atol=1e-8)
+
+    def test_orthogonal_rectangular(self):
+        weights = init.orthogonal((8, 4), rng=np.random.default_rng(5))
+        product = weights.T @ weights
+        np.testing.assert_allclose(product, np.eye(4), atol=1e-8)
+
+    def test_orthogonal_requires_2d(self):
+        with pytest.raises(ValueError):
+            init.orthogonal((5,))
+
+    def test_deterministic_given_rng_seed(self):
+        a = init.xavier_uniform((4, 4), rng=np.random.default_rng(42))
+        b = init.xavier_uniform((4, 4), rng=np.random.default_rng(42))
+        np.testing.assert_allclose(a, b)

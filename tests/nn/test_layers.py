@@ -1,0 +1,103 @@
+"""Tests for the Linear / Embedding / Conv1d / Dropout / LayerNorm layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        assert layer(nn.tensor(np.ones((5, 4)))).shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 3, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_linear_is_affine(self):
+        layer = nn.Linear(2, 2, rng=np.random.default_rng(1))
+        x = np.array([[1.0, 2.0]])
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(nn.tensor(x)).data, expected)
+
+    def test_gradients_flow_to_weights(self):
+        layer = nn.Linear(3, 2, rng=np.random.default_rng(2))
+        layer(nn.tensor(np.ones((4, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        layer = nn.Embedding(10, 4, rng=np.random.default_rng(0))
+        out = layer(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_padding_row_is_zero(self):
+        layer = nn.Embedding(10, 4, padding_idx=0, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(layer.weight.data[0], np.zeros(4))
+
+    def test_load_pretrained(self):
+        layer = nn.Embedding(3, 2, padding_idx=0)
+        vectors = np.arange(6.0).reshape(3, 2)
+        layer.load_pretrained(vectors)
+        np.testing.assert_allclose(layer.weight.data[0], [0.0, 0.0])  # pad stays zero
+        np.testing.assert_allclose(layer.weight.data[1], [2.0, 3.0])
+
+    def test_load_pretrained_freeze(self):
+        layer = nn.Embedding(3, 2)
+        layer.load_pretrained(np.zeros((3, 2)), freeze=True)
+        assert not layer.weight.requires_grad
+
+    def test_load_pretrained_shape_mismatch(self):
+        layer = nn.Embedding(3, 2)
+        with pytest.raises(ValueError):
+            layer.load_pretrained(np.zeros((4, 2)))
+
+
+class TestConv1dLayer:
+    def test_same_padding_preserves_length(self):
+        layer = nn.Conv1d(4, 8, kernel_size=3, padding=1, rng=np.random.default_rng(0))
+        out = layer(nn.tensor(np.zeros((2, 7, 4))))
+        assert out.shape == (2, 7, 8)
+
+    def test_repr_mentions_channels(self):
+        assert "in=4" in repr(nn.Conv1d(4, 8, 3))
+
+
+class TestDropoutLayer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+    def test_eval_mode_identity(self):
+        layer = nn.Dropout(0.9)
+        layer.eval()
+        x = nn.tensor(np.ones((3, 3)))
+        assert layer(x) is x
+
+    def test_train_mode_zeroes_units(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(nn.tensor(np.ones((100, 10)))).data
+        assert (out == 0).sum() > 0
+
+
+class TestActivationsAndNorm:
+    def test_tanh_module(self):
+        assert np.all(np.abs(nn.Tanh()(nn.tensor(np.ones(3))).data) < 1)
+
+    def test_relu_module(self):
+        np.testing.assert_allclose(nn.ReLU()(nn.tensor(np.array([-1.0, 1.0]))).data, [0.0, 1.0])
+
+    def test_sigmoid_module(self):
+        assert nn.Sigmoid()(nn.tensor(np.zeros(1))).data[0] == pytest.approx(0.5)
+
+    def test_layer_norm_zero_mean_unit_variance(self):
+        layer = nn.LayerNorm(6)
+        out = layer(nn.tensor(np.random.default_rng(0).standard_normal((4, 6)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-2)

@@ -1,0 +1,119 @@
+"""Tests for the Module / Parameter system."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Module, ModuleList, Parameter, Sequential
+
+
+class _Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.linear = nn.Linear(3, 2)
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.linear(x) * self.scale
+
+
+class TestParameterRegistration:
+    def test_parameters_are_discovered_recursively(self):
+        model = _Toy()
+        names = dict(model.named_parameters())
+        assert "scale" in names
+        assert "linear.weight" in names
+        assert "linear.bias" in names
+
+    def test_num_parameters(self):
+        model = _Toy()
+        assert model.num_parameters() == 3 * 2 + 2 + 1
+
+    def test_modules_iteration_includes_children(self):
+        model = _Toy()
+        assert len(list(model.modules())) == 2
+
+    def test_register_parameter_explicitly(self):
+        module = Module()
+        module.register_parameter("weight", Parameter(np.zeros(2)))
+        assert dict(module.named_parameters())["weight"].shape == (2,)
+
+    def test_add_module_explicitly(self):
+        outer = Module()
+        outer.add_module("inner", _Toy())
+        assert any(name.startswith("inner.") for name, _ in outer.named_parameters())
+
+
+class TestTrainEval:
+    def test_train_and_eval_propagate(self):
+        model = _Toy()
+        model.eval()
+        assert not model.training
+        assert not model.linear.training
+        model.train()
+        assert model.linear.training
+
+    def test_zero_grad_clears_all(self):
+        model = _Toy()
+        out = model(nn.tensor(np.ones((4, 3))))
+        out.sum().backward()
+        assert model.linear.weight.grad is not None
+        model.zero_grad()
+        assert model.linear.weight.grad is None
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        model = _Toy()
+        state = model.state_dict()
+        clone = _Toy()
+        clone.load_state_dict(state)
+        for (_, a), (_, b) in zip(model.named_parameters(), clone.named_parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_state_dict_is_a_copy(self):
+        model = _Toy()
+        state = model.state_dict()
+        state["scale"][:] = 99.0
+        assert model.scale.data[0] == pytest.approx(1.0)
+
+    def test_strict_load_rejects_missing_keys(self):
+        model = _Toy()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_non_strict_load_allows_missing_keys(self):
+        model = _Toy()
+        state = model.state_dict()
+        del state["scale"]
+        model.load_state_dict(state, strict=False)
+
+    def test_load_rejects_shape_mismatch(self):
+        model = _Toy()
+        state = model.state_dict()
+        state["scale"] = np.zeros(7)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestContainers:
+    def test_module_list_registers_items(self):
+        layers = ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(layers) == 2
+        assert len(list(layers[0].parameters())) == 2
+        assert len(dict(layers.named_parameters())) == 4
+
+    def test_sequential_applies_in_order(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(nn.Linear(3, 4, rng=rng), nn.Tanh(), nn.Linear(4, 2, rng=rng))
+        out = model(nn.tensor(np.ones((5, 3))))
+        assert out.shape == (5, 2)
+        assert len(model) == 3
+
+    def test_forward_not_implemented_on_bare_module(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

@@ -1,0 +1,107 @@
+"""Tests for the optimisers and learning-rate schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adagrad, Adam, LinearDecayLR, StepLR
+
+
+def _quadratic_step(optimizer, parameter):
+    """One optimisation step on the loss ||p||^2."""
+    optimizer.zero_grad()
+    loss = (parameter * parameter).sum()
+    loss.backward()
+    optimizer.step()
+    return float(loss.data)
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("optimizer_cls,kwargs", [
+        (SGD, {"lr": 0.1}),
+        (SGD, {"lr": 0.1, "momentum": 0.9}),
+        (Adam, {"lr": 0.1}),
+        (Adagrad, {"lr": 0.5}),
+    ])
+    def test_optimizers_reduce_quadratic_loss(self, optimizer_cls, kwargs):
+        parameter = Parameter(np.array([3.0, -2.0, 1.0]))
+        optimizer = optimizer_cls([parameter], **kwargs)
+        losses = [_quadratic_step(optimizer, parameter) for _ in range(30)]
+        assert losses[-1] < losses[0] * 0.1
+
+    def test_sgd_weight_decay_shrinks_parameters(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=0.1, weight_decay=0.5)
+        optimizer.zero_grad()
+        parameter.grad = np.zeros(1)
+        optimizer.step()
+        assert abs(parameter.data[0]) < 1.0
+
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_requires_positive_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.0)
+
+    def test_step_skips_parameters_without_grad(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=0.1)
+        optimizer.step()  # no gradient yet: must not crash or move the value
+        assert parameter.data[0] == pytest.approx(1.0)
+
+    def test_clip_grad_norm(self):
+        parameter = Parameter(np.array([1.0, 1.0]))
+        optimizer = SGD([parameter], lr=0.1)
+        parameter.grad = np.array([3.0, 4.0])
+        norm = optimizer.clip_grad_norm(1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_clip_grad_norm_no_clip_below_threshold(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=0.1)
+        parameter.grad = np.array([0.5])
+        optimizer.clip_grad_norm(10.0)
+        assert parameter.grad[0] == pytest.approx(0.5)
+
+    def test_adam_bias_correction_first_step(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = Adam([parameter], lr=0.1)
+        parameter.grad = np.array([1.0])
+        optimizer.step()
+        # With bias correction the first step has magnitude ~lr.
+        assert parameter.data[0] == pytest.approx(0.9, abs=1e-6)
+
+
+class TestSchedulers:
+    def test_step_lr_halves_after_step_size(self):
+        parameter = Parameter(np.ones(1))
+        optimizer = SGD([parameter], lr=0.4)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+        rates = [scheduler.step() for _ in range(4)]
+        assert rates[0] == pytest.approx(0.4)
+        assert rates[1] == pytest.approx(0.2)
+        assert rates[3] == pytest.approx(0.1)
+
+    def test_step_lr_validates_step_size(self):
+        optimizer = SGD([Parameter(np.ones(1))], lr=0.1)
+        with pytest.raises(ValueError):
+            StepLR(optimizer, step_size=0)
+
+    def test_linear_decay_reaches_floor(self):
+        optimizer = SGD([Parameter(np.ones(1))], lr=1.0)
+        scheduler = LinearDecayLR(optimizer, total_steps=10, final_fraction=0.01)
+        for _ in range(20):
+            rate = scheduler.step()
+        assert rate == pytest.approx(0.01)
+
+    def test_linear_decay_monotone(self):
+        optimizer = SGD([Parameter(np.ones(1))], lr=1.0)
+        scheduler = LinearDecayLR(optimizer, total_steps=5)
+        rates = [scheduler.step() for _ in range(5)]
+        assert all(earlier >= later for earlier, later in zip(rates, rates[1:]))

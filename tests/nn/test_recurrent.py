@@ -1,0 +1,78 @@
+"""Tests for the GRU / BiGRU recurrent layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestGRUCell:
+    def test_output_shape(self, rng):
+        cell = nn.GRUCell(4, 6, rng=rng)
+        h = cell(Tensor(np.zeros((3, 4))), Tensor(np.zeros((3, 6))))
+        assert h.shape == (3, 6)
+
+    def test_zero_input_zero_state_stays_bounded(self, rng):
+        cell = nn.GRUCell(4, 6, rng=rng)
+        h = cell(Tensor(np.zeros((2, 4))), Tensor(np.zeros((2, 6))))
+        assert np.all(np.abs(h.data) <= 1.0)
+
+
+class TestGRU:
+    def test_output_shape(self, rng):
+        gru = nn.GRU(3, 5, rng=rng)
+        out = gru(Tensor(rng.standard_normal((2, 7, 3))))
+        assert out.shape == (2, 7, 5)
+
+    def test_mask_freezes_hidden_state(self, rng):
+        gru = nn.GRU(3, 5, rng=rng)
+        x = rng.standard_normal((1, 4, 3))
+        mask = np.array([[True, True, False, False]])
+        out = gru(Tensor(x), mask=mask).data
+        # After the mask ends the hidden state must stop changing.
+        np.testing.assert_allclose(out[0, 1], out[0, 2])
+        np.testing.assert_allclose(out[0, 2], out[0, 3])
+
+    def test_padding_does_not_change_valid_states(self, rng):
+        gru = nn.GRU(3, 5, rng=rng)
+        x_short = rng.standard_normal((1, 3, 3))
+        x_padded = np.concatenate([x_short, np.zeros((1, 2, 3))], axis=1)
+        mask = np.array([[True, True, True, False, False]])
+        short_out = gru(Tensor(x_short)).data
+        padded_out = gru(Tensor(x_padded), mask=mask).data
+        np.testing.assert_allclose(short_out[0, 2], padded_out[0, 2], rtol=1e-10)
+
+    def test_gradients_reach_input(self, rng):
+        gru = nn.GRU(2, 3, rng=rng)
+        x = Tensor(rng.standard_normal((2, 4, 2)), requires_grad=True)
+        gru(x).sum().backward()
+        assert x.grad is not None
+        assert np.any(x.grad != 0)
+
+
+class TestBiGRU:
+    def test_output_dim_doubles(self, rng):
+        bigru = nn.BiGRU(3, 5, rng=rng)
+        assert bigru.output_size == 10
+        out = bigru(Tensor(rng.standard_normal((2, 6, 3))))
+        assert out.shape == (2, 6, 10)
+
+    def test_backward_direction_sees_future(self, rng):
+        bigru = nn.BiGRU(2, 4, rng=rng)
+        x = rng.standard_normal((1, 5, 2))
+        out_full = bigru(Tensor(x)).data
+        x_changed = x.copy()
+        x_changed[0, 4] += 10.0  # change only the last timestep
+        out_changed = bigru(Tensor(x_changed)).data
+        # The backward half of the first position must change; the forward half must not.
+        forward_half = out_full[0, 0, :4]
+        np.testing.assert_allclose(forward_half, out_changed[0, 0, :4], rtol=1e-10)
+        assert not np.allclose(out_full[0, 0, 4:], out_changed[0, 0, 4:])

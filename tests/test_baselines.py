@@ -1,0 +1,157 @@
+"""Tests for the baseline methods and the method registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.api import NeuralMethod
+from repro.baselines.cnn_rl import CNNRLMethod, _select_sentences
+from repro.baselines.features import BagOfWordsFeaturizer, SoftmaxRegression, softmax_rows
+from repro.baselines.mimlre import MIMLREMethod
+from repro.baselines.mintz import MintzMethod
+from repro.baselines.multir import MultiRMethod
+from repro.baselines.registry import available_methods, build_method, display_name
+from repro.config import ModelConfig, TrainingConfig
+from repro.exceptions import ConfigurationError, ModelError
+
+
+@pytest.fixture(scope="module")
+def train_test(nyt_context):
+    return nyt_context.train_encoded[:60], nyt_context.test_encoded[:20], nyt_context
+
+
+class TestFeatures:
+    def test_softmax_rows_are_distributions(self):
+        probs = softmax_rows(np.random.default_rng(0).standard_normal((4, 6)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(4), rtol=1e-9)
+
+    def test_bag_features_dimension(self, train_test):
+        train, _, context = train_test
+        featurizer = BagOfWordsFeaturizer(context.vocab_size)
+        features = featurizer.bag_features(train[0])
+        assert features.shape == (featurizer.dim,)
+        assert features[-1] == 1.0  # bias feature
+
+    def test_sentence_matrix_shape(self, train_test):
+        train, _, context = train_test
+        featurizer = BagOfWordsFeaturizer(context.vocab_size)
+        matrix = featurizer.sentence_matrix(train[0])
+        assert matrix.shape == (train[0].num_sentences, featurizer.dim)
+
+    def test_softmax_regression_learns_separable_data(self):
+        rng = np.random.default_rng(0)
+        features = np.concatenate([rng.normal(-2, 0.5, (50, 3)), rng.normal(2, 0.5, (50, 3))])
+        labels = np.array([0] * 50 + [1] * 50)
+        model = SoftmaxRegression(3, 2, epochs=50, seed=0).fit(features, labels)
+        predictions = model.predict_proba(features).argmax(axis=1)
+        assert (predictions == labels).mean() > 0.95
+
+
+class TestFeatureBaselines:
+    @pytest.mark.parametrize("method_cls", [MintzMethod, MultiRMethod, MIMLREMethod])
+    def test_fit_predict_cycle(self, train_test, method_cls):
+        train, test, context = train_test
+        method = method_cls(context.vocab_size, context.num_relations, seed=0)
+        method.fit(train)
+        probabilities = method.predict_probabilities(test[0])
+        assert probabilities.shape == (context.num_relations,)
+        assert probabilities.sum() == pytest.approx(1.0, rel=1e-6)
+
+    def test_predict_before_fit_raises(self, train_test):
+        _, test, context = train_test
+        method = MintzMethod(context.vocab_size, context.num_relations)
+        with pytest.raises(ModelError):
+            method.predict_probabilities(test[0])
+
+    def test_mintz_learns_better_than_chance(self, train_test, nyt_context):
+        train, _, context = train_test
+        method = MintzMethod(context.vocab_size, context.num_relations, seed=0).fit(train)
+        correct = sum(method.predict_relation(bag) == bag.label for bag in train)
+        assert correct / len(train) > 1.5 / context.num_relations
+
+    def test_multir_requires_positive_rounds(self, train_test):
+        _, _, context = train_test
+        with pytest.raises(ValueError):
+            MultiRMethod(context.vocab_size, context.num_relations, em_rounds=0)
+
+
+class TestCNNRL:
+    def test_select_sentences_subsets_arrays(self, train_test):
+        train, _, _ = train_test
+        bag = train[0]
+        selected = _select_sentences(bag, [0])
+        assert selected.num_sentences == 1
+        assert selected.label == bag.label
+
+    def test_fit_predict_cycle(self, train_test):
+        train, test, context = train_test
+        method = CNNRLMethod(
+            context.vocab_size,
+            context.num_relations,
+            model_config=ModelConfig.scaled(0.1),
+            training_config=TrainingConfig(epochs=1, batch_size=16, learning_rate=0.01,
+                                           optimizer="adam", seed=0),
+            seed=0,
+        )
+        method.fit(train[:30])
+        probabilities = method.predict_probabilities(test[0])
+        assert probabilities.shape == (context.num_relations,)
+        assert probabilities.sum() == pytest.approx(1.0, rel=1e-5)
+
+
+class TestRegistry:
+    def test_available_methods_cover_paper_table(self):
+        names = available_methods()
+        for expected in ("mintz", "multir", "mimlre", "pcnn", "pcnn_att", "bgwa", "cnn_rl",
+                         "pa_t", "pa_mr", "pa_tmr"):
+            assert expected in names
+
+    def test_display_names(self):
+        assert display_name("pcnn_att") == "PCNN+ATT"
+        assert display_name("pa_tmr") == "PA-TMR"
+        assert display_name("gru_att+tmr").startswith("GRU+ATT")
+
+    def test_build_feature_method(self, train_test):
+        _, _, context = train_test
+        method = build_method("mintz", context.vocab_size, context.num_relations)
+        assert isinstance(method, MintzMethod)
+
+    def test_build_neural_method(self, train_test):
+        _, _, context = train_test
+        method = build_method(
+            "pcnn_att",
+            context.vocab_size,
+            context.num_relations,
+            model_config=ModelConfig.scaled(0.1),
+            training_config=TrainingConfig(epochs=1, batch_size=16, optimizer="adam",
+                                           learning_rate=0.01),
+        )
+        assert isinstance(method, NeuralMethod)
+
+    def test_augmented_names_parse(self, train_test, nyt_context):
+        _, _, context = train_test
+        method = build_method(
+            "cnn_att+tmr",
+            context.vocab_size,
+            context.num_relations,
+            model_config=ModelConfig.scaled(0.1),
+            kb=context.bundle.kb,
+            entity_embeddings=context.entity_embeddings,
+        )
+        assert method.model.uses_types and method.model.uses_mutual_relations
+
+    def test_mr_methods_require_embeddings(self, train_test):
+        _, _, context = train_test
+        with pytest.raises(ConfigurationError):
+            build_method("pa_mr", context.vocab_size, context.num_relations)
+
+    def test_unknown_method_rejected(self, train_test):
+        _, _, context = train_test
+        with pytest.raises(ConfigurationError):
+            build_method("bert_large", context.vocab_size, context.num_relations)
+
+    def test_unknown_augmentation_rejected(self, train_test):
+        _, _, context = train_test
+        with pytest.raises(ConfigurationError):
+            build_method("pcnn+xyz", context.vocab_size, context.num_relations)

@@ -1,0 +1,207 @@
+"""Tests for the paper's core contribution: heads, combiner, unified model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.core.classifier import BagRelationClassifier
+from repro.core.combination import ConfidenceCombiner
+from repro.core.entity_type import EntityTypeHead
+from repro.core.model import NeuralREModel
+from repro.core.mutual_relation import MutualRelationHead, build_entity_vector_table
+from repro.core.variants import (
+    BASE_MODEL_NAMES,
+    build_base_classifier,
+    build_model,
+    build_pa_mr,
+    build_pa_t,
+    build_pa_tmr,
+)
+from repro.corpus.loader import BagEncoder
+from repro.exceptions import ConfigurationError
+from repro.graph.embeddings import EntityEmbeddings
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def tiny_setup(nyt_bundle):
+    encoder = BagEncoder(nyt_bundle.vocabulary, max_sentence_length=20, max_sentences_per_bag=3)
+    bags = encoder.encode_all(nyt_bundle.train.bags[:12])
+    config = ModelConfig.scaled(0.1)
+    vocab_size = len(nyt_bundle.vocabulary)
+    num_relations = nyt_bundle.schema.num_relations
+    rng = np.random.default_rng(0)
+    embeddings = EntityEmbeddings(
+        [entity.name for entity in nyt_bundle.kb.entities],
+        rng.standard_normal((nyt_bundle.kb.num_entities, 8)),
+    )
+    return nyt_bundle, encoder, bags, config, vocab_size, num_relations, embeddings
+
+
+class TestEntityTypeHead:
+    def test_logits_shape(self, tiny_setup):
+        _, _, bags, _, _, num_relations, _ = tiny_setup
+        head = EntityTypeHead(num_types=40, num_relations=num_relations, type_embedding_dim=4)
+        logits = head(bags[0])
+        assert logits.shape == (num_relations,)
+
+    def test_multiple_types_are_averaged(self, tiny_setup):
+        _, _, bags, _, _, num_relations, _ = tiny_setup
+        head = EntityTypeHead(num_types=40, num_relations=num_relations, type_embedding_dim=4)
+        representation = head.pair_representation(bags[0])
+        assert representation.shape == (8,)
+
+
+class TestMutualRelationHead:
+    def test_vector_table_uses_zero_for_missing_entities(self, tiny_setup):
+        bundle, _, _, _, _, _, _ = tiny_setup
+        embeddings = EntityEmbeddings(["only_one_entity"], np.ones((1, 4)))
+        table = build_entity_vector_table(bundle.kb, embeddings)
+        assert table.shape == (bundle.kb.num_entities, 4)
+        assert np.allclose(table, 0.0)
+
+    def test_mutual_relation_vector_is_difference(self, tiny_setup):
+        bundle, _, _, _, _, num_relations, embeddings = tiny_setup
+        table = build_entity_vector_table(bundle.kb, embeddings)
+        head = MutualRelationHead(table, num_relations=num_relations)
+        expected = table[1] - table[0]
+        np.testing.assert_allclose(head.mutual_relation_vector(0, 1), expected)
+
+    def test_out_of_range_entity_rejected(self, tiny_setup):
+        _, _, _, _, _, num_relations, _ = tiny_setup
+        head = MutualRelationHead(np.zeros((5, 4)), num_relations=num_relations)
+        with pytest.raises(ConfigurationError):
+            head.mutual_relation_vector(0, 99)
+
+    def test_forward_shape(self, tiny_setup):
+        bundle, _, bags, _, _, num_relations, embeddings = tiny_setup
+        table = build_entity_vector_table(bundle.kb, embeddings)
+        head = MutualRelationHead(table, num_relations=num_relations)
+        assert head(bags[0]).shape == (num_relations,)
+
+    def test_entity_vectors_are_frozen(self, tiny_setup):
+        bundle, _, _, _, _, num_relations, embeddings = tiny_setup
+        table = build_entity_vector_table(bundle.kb, embeddings)
+        head = MutualRelationHead(table, num_relations=num_relations)
+        parameter_names = [name for name, _ in head.named_parameters()]
+        assert all("entity_vectors" not in name for name in parameter_names)
+
+
+class TestConfidenceCombiner:
+    def test_pass_through_without_heads(self):
+        combiner = ConfidenceCombiner(5, use_types=False, use_mutual_relations=False)
+        logits = Tensor(np.array([1.0, 2.0, 3.0, 4.0, 5.0]))
+        np.testing.assert_allclose(combiner(logits).data, logits.data)
+
+    def test_requires_configured_components(self):
+        combiner = ConfidenceCombiner(4, use_types=True, use_mutual_relations=False)
+        with pytest.raises(ConfigurationError):
+            combiner(Tensor(np.zeros(4)))
+
+    def test_combination_shape_and_weights(self):
+        combiner = ConfidenceCombiner(4, use_types=True, use_mutual_relations=True)
+        out = combiner(
+            Tensor(np.zeros(4)), type_logits=Tensor(np.zeros(4)), mr_logits=Tensor(np.zeros(4))
+        )
+        assert out.shape == (4,)
+        weights = combiner.component_weights()
+        assert set(weights) == {"alpha_mutual_relation", "beta_entity_type", "gamma_base_model"}
+
+    def test_component_with_high_confidence_shifts_prediction(self):
+        combiner = ConfidenceCombiner(3, use_types=False, use_mutual_relations=True)
+        re_logits = Tensor(np.zeros(3))
+        mr_logits = Tensor(np.array([0.0, 8.0, 0.0]))
+        probabilities = F.softmax(combiner(re_logits, mr_logits=mr_logits), axis=-1).data
+        assert int(np.argmax(probabilities)) == 1
+
+    def test_rejects_too_few_relations(self):
+        with pytest.raises(ConfigurationError):
+            ConfidenceCombiner(1, use_types=False, use_mutual_relations=False)
+
+
+class TestBagRelationClassifier:
+    @pytest.mark.parametrize("encoder_type", ["cnn", "pcnn", "gru"])
+    def test_forward_shapes(self, tiny_setup, encoder_type):
+        _, _, bags, config, vocab_size, num_relations, _ = tiny_setup
+        model = BagRelationClassifier(
+            vocab_size, num_relations, config=config, encoder_type=encoder_type,
+            rng=np.random.default_rng(0),
+        )
+        logits = model(bags[0], bags[0].label)
+        assert logits.shape == (num_relations,)
+        assert model(bags[0]).shape == (num_relations,)
+
+    def test_invalid_encoder_type(self, tiny_setup):
+        _, _, _, config, vocab_size, num_relations, _ = tiny_setup
+        with pytest.raises(ConfigurationError):
+            BagRelationClassifier(vocab_size, num_relations, config=config, encoder_type="transformer")
+
+    def test_describe(self, tiny_setup):
+        _, _, _, config, vocab_size, num_relations, _ = tiny_setup
+        model = BagRelationClassifier(vocab_size, num_relations, config=config, attention=False)
+        assert model.describe() == "PCNN+AVG"
+
+
+class TestNeuralREModel:
+    def test_predict_probabilities_is_distribution(self, tiny_setup, trained_pa_tmr, nyt_context):
+        method, _ = trained_pa_tmr
+        probabilities = method.model.predict_probabilities(nyt_context.test_encoded[0])
+        assert probabilities.shape == (nyt_context.num_relations,)
+        assert probabilities.min() >= 0
+        assert probabilities.sum() == pytest.approx(1.0, rel=1e-6)
+
+    def test_component_breakdown_keys(self, trained_pa_tmr, nyt_context):
+        method, _ = trained_pa_tmr
+        breakdown = method.model.component_breakdown(nyt_context.test_encoded[0])
+        assert {"base", "types", "mutual_relation", "combined"} <= set(breakdown)
+
+    def test_describe_lists_components(self, tiny_setup):
+        bundle, _, _, config, vocab_size, num_relations, embeddings = tiny_setup
+        model = build_pa_tmr(vocab_size, num_relations, bundle.kb, embeddings, config=config)
+        assert model.describe() == "PCNN+ATT (+T +MR)"
+
+    def test_mismatched_head_rejected(self, tiny_setup):
+        _, _, _, config, vocab_size, num_relations, _ = tiny_setup
+        base = BagRelationClassifier(vocab_size, num_relations, config=config)
+        wrong_head = EntityTypeHead(num_types=40, num_relations=num_relations + 1)
+        with pytest.raises(ConfigurationError):
+            NeuralREModel(base, type_head=wrong_head)
+
+    def test_eval_mode_prediction_is_deterministic(self, tiny_setup):
+        bundle, _, bags, config, vocab_size, num_relations, embeddings = tiny_setup
+        model = build_pa_tmr(vocab_size, num_relations, bundle.kb, embeddings, config=config,
+                             rng=np.random.default_rng(0))
+        first = model.predict_probabilities(bags[0])
+        second = model.predict_probabilities(bags[0])
+        np.testing.assert_allclose(first, second)
+
+
+class TestVariantFactories:
+    def test_all_base_names_buildable(self, tiny_setup):
+        _, _, bags, config, vocab_size, num_relations, _ = tiny_setup
+        for name in BASE_MODEL_NAMES:
+            model = build_base_classifier(name, vocab_size, num_relations, config=config,
+                                          rng=np.random.default_rng(0))
+            assert model(bags[0]).shape == (num_relations,)
+
+    def test_unknown_base_name(self, tiny_setup):
+        _, _, _, config, vocab_size, num_relations, _ = tiny_setup
+        with pytest.raises(ConfigurationError):
+            build_base_classifier("bert", vocab_size, num_relations, config=config)
+
+    def test_pa_variants_have_expected_heads(self, tiny_setup):
+        bundle, _, _, config, vocab_size, num_relations, embeddings = tiny_setup
+        pa_t = build_pa_t(vocab_size, num_relations, config=config)
+        pa_mr = build_pa_mr(vocab_size, num_relations, bundle.kb, embeddings, config=config)
+        pa_tmr = build_pa_tmr(vocab_size, num_relations, bundle.kb, embeddings, config=config)
+        assert pa_t.uses_types and not pa_t.uses_mutual_relations
+        assert pa_mr.uses_mutual_relations and not pa_mr.uses_types
+        assert pa_tmr.uses_types and pa_tmr.uses_mutual_relations
+
+    def test_mutual_relations_require_embeddings(self, tiny_setup):
+        _, _, _, config, vocab_size, num_relations, _ = tiny_setup
+        with pytest.raises(ConfigurationError):
+            build_model("pcnn_att", vocab_size, num_relations, config=config, use_mutual_relations=True)

@@ -1,0 +1,284 @@
+"""Tests for the corpus substrate: templates, DS sampling, unlabeled corpus,
+dataset bundles, bag encoding and batching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.bags import Bag, RelationExtractionDataset, SentenceExample
+from repro.corpus.datasets import (
+    build_synth_gds,
+    build_synth_nyt,
+    cooccurrence_quantile_buckets,
+    dataset_statistics,
+    pair_frequency_histogram,
+)
+from repro.corpus.distant_supervision import DistantSupervisionSampler
+from repro.corpus.loader import BagEncoder, BatchIterator, TypeVocabulary
+from repro.corpus.templates import NOISE_TEMPLATES, TemplateLibrary, trigger_tokens
+from repro.corpus.unlabeled import UnlabeledCorpusGenerator
+from repro.exceptions import ConfigurationError, DataError
+from repro.kb.generator import KnowledgeBaseGenerator
+from repro.kb.schema import nyt_schema
+
+
+@pytest.fixture(scope="module")
+def small_kb():
+    schema = nyt_schema(8)
+    return KnowledgeBaseGenerator(schema, num_entities=60, seed=0).generate(80)
+
+
+class TestTemplates:
+    def test_trigger_tokens_from_freebase_name(self):
+        assert trigger_tokens("/people/person/place_of_birth") == ["place", "of", "birth"]
+
+    def test_trigger_tokens_fallback(self):
+        assert trigger_tokens("///") == ["related"]
+
+    def test_expressing_templates_exist_for_all_positive_relations(self, small_kb):
+        library = TemplateLibrary(small_kb.schema)
+        for relation_id in small_kb.schema.positive_relation_ids():
+            assert len(library.expressing_templates(relation_id)) >= 1
+
+    def test_na_has_no_expressing_templates(self, small_kb):
+        library = TemplateLibrary(small_kb.schema)
+        with pytest.raises(KeyError):
+            library.expressing_templates(small_kb.schema.na_id)
+
+    def test_realize_positions(self):
+        tokens, head, tail = TemplateLibrary.realize(
+            ("{head}", "was", "born", "in", "{tail}", "."), "obama", "hawaii"
+        )
+        assert tokens[head] == "obama"
+        assert tokens[tail] == "hawaii"
+
+    def test_realize_requires_both_slots(self):
+        with pytest.raises(ValueError):
+            TemplateLibrary.realize(("{head}", "alone"), "a", "b")
+
+    def test_noise_templates_mention_both_entities(self):
+        for template in NOISE_TEMPLATES:
+            assert "{head}" in template and "{tail}" in template
+
+
+class TestSentenceAndBag:
+    def test_sentence_validation(self):
+        with pytest.raises(DataError):
+            SentenceExample(tokens=[], head_position=0, tail_position=0)
+        with pytest.raises(DataError):
+            SentenceExample(tokens=["a"], head_position=2, tail_position=0)
+
+    def test_bag_requires_label(self):
+        with pytest.raises(DataError):
+            Bag(0, 1, "a", "b", ("person",), ("location",), relation_ids=set())
+
+    def test_primary_relation_prefers_positive(self):
+        bag = Bag(0, 1, "a", "b", ("person",), ("location",), relation_ids={0, 3, 5})
+        assert bag.primary_relation == 3
+
+    def test_noise_fraction(self):
+        sentences = [
+            SentenceExample(["a", "b"], 0, 1, expresses_relation=True),
+            SentenceExample(["a", "b"], 0, 1, expresses_relation=False),
+        ]
+        bag = Bag(0, 1, "a", "b", ("person",), ("location",), {1}, sentences)
+        assert bag.noise_fraction() == pytest.approx(0.5)
+
+
+class TestDistantSupervision:
+    def test_bags_cover_all_pairs(self, small_kb):
+        sampler = DistantSupervisionSampler(small_kb, seed=0)
+        bags = sampler.sample_bags()
+        assert len(bags) == len(small_kb.entity_pairs())
+
+    def test_positive_bag_has_expressing_sentence(self, small_kb):
+        sampler = DistantSupervisionSampler(small_kb, noise_rate=0.8, seed=0)
+        for bag in sampler.sample_bags():
+            if not bag.is_na():
+                assert any(s.expresses_relation for s in bag.sentences)
+
+    def test_na_bags_have_only_noise(self, small_kb):
+        sampler = DistantSupervisionSampler(small_kb, seed=0)
+        for bag in sampler.sample_bags():
+            if bag.is_na():
+                assert all(not s.expresses_relation for s in bag.sentences)
+
+    def test_sentence_counts_can_be_pinned(self, small_kb):
+        pair = small_kb.entity_pairs()[0]
+        sampler = DistantSupervisionSampler(small_kb, seed=0)
+        bags = sampler.sample_bags(pairs=[pair], sentence_counts={pair: 7})
+        assert bags[0].num_sentences == 7
+
+    def test_split_is_stratified_and_disjoint(self, small_kb):
+        sampler = DistantSupervisionSampler(small_kb, seed=0)
+        bags = sampler.sample_bags()
+        train, test = sampler.split_train_test(bags, test_fraction=0.3)
+        assert len(train) + len(test) == len(bags)
+        train_pairs = {bag.pair for bag in train}
+        test_pairs = {bag.pair for bag in test}
+        assert not train_pairs & test_pairs
+
+    def test_invalid_configuration(self, small_kb):
+        with pytest.raises(ConfigurationError):
+            DistantSupervisionSampler(small_kb, noise_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            DistantSupervisionSampler(small_kb, zipf_exponent=1.0)
+        sampler = DistantSupervisionSampler(small_kb, seed=0)
+        with pytest.raises(ConfigurationError):
+            sampler.split_train_test([], test_fraction=1.5)
+
+    def test_reproducible(self, small_kb):
+        first = DistantSupervisionSampler(small_kb, seed=5).sample_bags()
+        second = DistantSupervisionSampler(small_kb, seed=5).sample_bags()
+        assert [b.num_sentences for b in first] == [b.num_sentences for b in second]
+
+
+class TestUnlabeledCorpus:
+    def test_cooccurrence_counts_symmetric_key(self, small_kb):
+        generator = UnlabeledCorpusGenerator(small_kb, seed=0)
+        sentences = generator.generate()
+        counts = UnlabeledCorpusGenerator.cooccurrence_counts(sentences)
+        assert all(first <= second for first, second in counts)
+        assert all(count >= 1 for count in counts.values())
+
+    def test_related_pairs_appear_in_corpus(self, small_kb):
+        generator = UnlabeledCorpusGenerator(small_kb, seed=0)
+        counts = UnlabeledCorpusGenerator.cooccurrence_counts(generator.generate())
+        covered = 0
+        for head_id, tail_id in small_kb.entity_pairs():
+            key = tuple(sorted((small_kb.entity(head_id).name, small_kb.entity(tail_id).name)))
+            covered += key in counts
+        assert covered >= 0.9 * len(small_kb.entity_pairs())
+
+    def test_invalid_configuration(self, small_kb):
+        with pytest.raises(ConfigurationError):
+            UnlabeledCorpusGenerator(small_kb, mean_mentions_per_pair=0)
+
+
+class TestDatasetBundles:
+    def test_nyt_bundle_shapes(self, nyt_bundle):
+        stats = dataset_statistics(nyt_bundle)
+        assert stats["relations"]["count"] == 12
+        assert stats["training"]["entity_pairs"] > stats["testing"]["entity_pairs"]
+        assert stats["unlabeled"]["sentences"] > 0
+
+    def test_gds_is_smaller_than_nyt(self, nyt_bundle, gds_bundle):
+        assert len(gds_bundle.train) < len(nyt_bundle.train)
+        assert gds_bundle.schema.num_relations < nyt_bundle.schema.num_relations
+
+    def test_histogram_counts_all_pairs(self, nyt_bundle):
+        histogram = pair_frequency_histogram(nyt_bundle.train)
+        assert sum(histogram.values()) == len(nyt_bundle.train)
+
+    def test_cooccurrence_lookup(self, nyt_bundle):
+        bag = nyt_bundle.test.bags[0]
+        count = nyt_bundle.cooccurrence_for_pair(bag.head_name, bag.tail_name)
+        assert count >= 0
+
+    def test_quantile_buckets_partition_test_pairs(self, nyt_bundle):
+        buckets = cooccurrence_quantile_buckets(nyt_bundle, num_buckets=3)
+        total = sum(len(pairs) for pairs in buckets.values())
+        assert total == len(nyt_bundle.test)
+
+    def test_same_seed_same_dataset(self, tiny_profile):
+        a = build_synth_gds(tiny_profile, seed=4)
+        b = build_synth_gds(tiny_profile, seed=4)
+        assert dataset_statistics(a) == dataset_statistics(b)
+
+    def test_different_seeds_differ(self, tiny_profile):
+        a = build_synth_nyt(tiny_profile, seed=1)
+        b = build_synth_nyt(tiny_profile, seed=2)
+        assert dataset_statistics(a) != dataset_statistics(b)
+
+
+class TestBagEncoder:
+    def test_encoded_shapes_consistent(self, nyt_bundle):
+        encoder = BagEncoder(nyt_bundle.vocabulary, max_sentence_length=30)
+        encoded = encoder.encode(nyt_bundle.train.bags[0])
+        assert encoded.token_ids.shape == encoded.mask.shape
+        assert encoded.token_ids.shape == encoded.segment_ids.shape
+        assert encoded.head_position_ids.max() < encoder.num_position_ids
+
+    def test_segment_padding_is_negative(self, nyt_bundle):
+        encoder = BagEncoder(nyt_bundle.vocabulary, max_sentence_length=30)
+        encoded = encoder.encode(nyt_bundle.train.bags[0])
+        assert np.all(encoded.segment_ids[~encoded.mask] == -1)
+
+    def test_max_sentences_cap(self, nyt_bundle):
+        encoder = BagEncoder(nyt_bundle.vocabulary, max_sentences_per_bag=2)
+        for bag in nyt_bundle.train.bags[:20]:
+            assert encoder.encode(bag).num_sentences <= 2
+
+    def test_truncates_long_sentences(self, nyt_bundle):
+        encoder = BagEncoder(nyt_bundle.vocabulary, max_sentence_length=5)
+        encoded = encoder.encode(nyt_bundle.train.bags[0])
+        assert encoded.max_length <= 5
+
+    def test_label_and_types_propagate(self, nyt_bundle):
+        encoder = BagEncoder(nyt_bundle.vocabulary)
+        bag = nyt_bundle.train.bags[0]
+        encoded = encoder.encode(bag)
+        assert encoded.label == bag.primary_relation
+        assert encoded.head_entity_id == bag.head_id
+        assert encoded.head_type_ids.size >= 1
+
+    def test_type_vocabulary_unknown_maps_to_zero(self):
+        types = TypeVocabulary()
+        assert types.type_to_id("martian") == 0
+        assert types.encode([])[0] == 0
+
+    def test_invalid_max_length(self, nyt_bundle):
+        with pytest.raises(DataError):
+            BagEncoder(nyt_bundle.vocabulary, max_sentence_length=1)
+
+
+class TestBatchIterator:
+    def test_batches_cover_everything(self, nyt_bundle):
+        encoder = BagEncoder(nyt_bundle.vocabulary)
+        encoded = encoder.encode_all(nyt_bundle.train.bags[:17])
+        iterator = BatchIterator(encoded, batch_size=5, shuffle=False)
+        batches = list(iterator)
+        assert sum(len(batch) for batch in batches) == 17
+        assert len(iterator) == len(batches)
+
+    def test_drop_last(self, nyt_bundle):
+        encoder = BagEncoder(nyt_bundle.vocabulary)
+        encoded = encoder.encode_all(nyt_bundle.train.bags[:17])
+        iterator = BatchIterator(encoded, batch_size=5, shuffle=False, drop_last=True)
+        assert all(len(batch) == 5 for batch in iterator)
+
+    def test_shuffle_changes_order(self, nyt_bundle):
+        encoder = BagEncoder(nyt_bundle.vocabulary)
+        encoded = encoder.encode_all(nyt_bundle.train.bags[:20])
+        first = [bag.head_entity_id for batch in BatchIterator(encoded, 20, shuffle=True, rng=np.random.default_rng(1)) for bag in batch]
+        ordered = [bag.head_entity_id for bag in encoded]
+        assert first != ordered
+
+    def test_rejects_bad_batch_size(self, nyt_bundle):
+        with pytest.raises(DataError):
+            BatchIterator([], batch_size=0)
+
+
+class TestDatasetContainer:
+    def test_relation_counts_sum_to_bags(self, nyt_bundle):
+        counts = nyt_bundle.train.relation_counts()
+        assert sum(counts.values()) == len(nyt_bundle.train)
+
+    def test_filter_by_sentence_count(self, nyt_bundle):
+        filtered = nyt_bundle.train.filter_by_sentence_count(2, 3)
+        assert all(2 <= bag.num_sentences <= 3 for bag in filtered)
+
+    def test_positive_bags_exclude_na(self, nyt_bundle):
+        assert all(not bag.is_na() for bag in nyt_bundle.train.positive_bags())
+
+    @given(st.integers(min_value=1, max_value=60))
+    @settings(max_examples=20, deadline=None)
+    def test_histogram_bucket_label_is_always_defined(self, count):
+        from repro.corpus.bags import _bucket_for, _bucket_labels
+
+        edges = (1, 2, 3, 5, 10, 20)
+        label = _bucket_for(count, edges)
+        assert label in _bucket_labels(edges)

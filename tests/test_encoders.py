@@ -1,0 +1,111 @@
+"""Tests for the sentence encoders and bag-level aggregators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.loader import BagEncoder
+from repro.encoders.attention import (
+    AverageBagAggregator,
+    SelectiveAttentionAggregator,
+    WordAttention,
+)
+from repro.encoders.base import WordPositionEmbedder
+from repro.encoders.cnn import CNNEncoder
+from repro.encoders.gru import GRUEncoder
+from repro.encoders.pcnn import PCNNEncoder
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def encoded_bag(nyt_bundle):
+    encoder = BagEncoder(nyt_bundle.vocabulary, max_sentence_length=20, max_sentences_per_bag=4)
+    positive = next(bag for bag in nyt_bundle.train.bags if not bag.is_na())
+    return encoder.encode(positive), len(nyt_bundle.vocabulary)
+
+
+class TestWordPositionEmbedder:
+    def test_output_dim_and_shape(self, encoded_bag):
+        bag, vocab_size = encoded_bag
+        embedder = WordPositionEmbedder(vocab_size, word_dim=6, position_dim=2, rng=np.random.default_rng(0))
+        out = embedder(bag)
+        assert embedder.output_dim == 10
+        assert out.shape == (bag.num_sentences, bag.max_length, 10)
+
+
+class TestSentenceEncoders:
+    @pytest.mark.parametrize("encoder_cls,expected_factor", [(CNNEncoder, 1), (PCNNEncoder, 3)])
+    def test_cnn_output_dims(self, encoded_bag, encoder_cls, expected_factor):
+        bag, vocab_size = encoded_bag
+        embedder = WordPositionEmbedder(vocab_size, word_dim=6, position_dim=2, rng=np.random.default_rng(0))
+        encoder = encoder_cls(embedder.output_dim, num_filters=7, window_size=3, rng=np.random.default_rng(1))
+        out = encoder(embedder(bag), bag)
+        assert out.shape == (bag.num_sentences, 7 * expected_factor)
+        assert encoder.output_dim == 7 * expected_factor
+
+    def test_outputs_bounded_by_tanh(self, encoded_bag):
+        bag, vocab_size = encoded_bag
+        embedder = WordPositionEmbedder(vocab_size, word_dim=6, position_dim=2, rng=np.random.default_rng(0))
+        encoder = PCNNEncoder(embedder.output_dim, num_filters=5, rng=np.random.default_rng(1))
+        out = encoder(embedder(bag), bag).data
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_gru_encoder_output_dim(self, encoded_bag):
+        bag, vocab_size = encoded_bag
+        embedder = WordPositionEmbedder(vocab_size, word_dim=6, position_dim=2, rng=np.random.default_rng(0))
+        encoder = GRUEncoder(embedder.output_dim, hidden_dim=4, rng=np.random.default_rng(1))
+        out = encoder(embedder(bag), bag)
+        assert out.shape == (bag.num_sentences, 8)
+
+    def test_gru_encoder_with_word_attention(self, encoded_bag):
+        bag, vocab_size = encoded_bag
+        embedder = WordPositionEmbedder(vocab_size, word_dim=6, position_dim=2, rng=np.random.default_rng(0))
+        encoder = GRUEncoder(embedder.output_dim, hidden_dim=4, word_attention=True, rng=np.random.default_rng(1))
+        out = encoder(embedder(bag), bag)
+        assert out.shape == (bag.num_sentences, 8)
+
+
+class TestAggregators:
+    def test_selective_attention_train_and_predict_shapes(self):
+        rng = np.random.default_rng(0)
+        aggregator = SelectiveAttentionAggregator(sentence_dim=6, num_relations=5, rng=rng)
+        reprs = Tensor(rng.standard_normal((4, 6)))
+        train_logits = aggregator(reprs, relation_id=2)
+        predict_logits = aggregator(reprs)
+        assert train_logits.shape == (5,)
+        assert predict_logits.shape == (5,)
+
+    def test_attention_weights_sum_to_one(self):
+        rng = np.random.default_rng(1)
+        aggregator = SelectiveAttentionAggregator(6, 4, rng=rng)
+        reprs = Tensor(rng.standard_normal((3, 6)))
+        bag_vector = aggregator.bag_representation(reprs, relation_id=1).data
+        # The bag vector is a convex combination, so it lies within the range
+        # of the sentence representations on every dimension.
+        assert np.all(bag_vector <= reprs.data.max(axis=0) + 1e-9)
+        assert np.all(bag_vector >= reprs.data.min(axis=0) - 1e-9)
+
+    def test_single_sentence_bag_attention_is_identity(self):
+        rng = np.random.default_rng(2)
+        aggregator = SelectiveAttentionAggregator(6, 4, rng=rng)
+        reprs = Tensor(rng.standard_normal((1, 6)))
+        bag_vector = aggregator.bag_representation(reprs, relation_id=0).data
+        np.testing.assert_allclose(bag_vector, reprs.data[0], rtol=1e-10)
+
+    def test_average_aggregator_ignores_relation_argument(self):
+        rng = np.random.default_rng(3)
+        aggregator = AverageBagAggregator(6, 4, rng=rng)
+        reprs = Tensor(rng.standard_normal((3, 6)))
+        with_relation = aggregator(reprs, relation_id=2).data
+        without_relation = aggregator(reprs).data
+        np.testing.assert_allclose(with_relation, without_relation)
+
+    def test_word_attention_output_shape(self):
+        rng = np.random.default_rng(4)
+        attention = WordAttention(hidden_dim=8, rng=rng)
+        hidden = Tensor(rng.standard_normal((2, 5, 8)))
+        mask = np.ones((2, 5), dtype=bool)
+        mask[1, 3:] = False
+        out = attention(hidden, mask)
+        assert out.shape == (2, 8)

@@ -1,0 +1,189 @@
+"""Tests for the held-out evaluation: metrics, evaluator and bucket analyses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.buckets import bucket_f1_by_cooccurrence, bucket_f1_by_sentence_count
+from repro.eval.heldout import HeldOutEvaluator
+from repro.eval.metrics import (
+    area_under_curve,
+    f1_score,
+    max_f1_point,
+    precision_at_k,
+    precision_recall_curve,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestMetrics:
+    def test_perfect_ranking(self):
+        scores = [0.9, 0.8, 0.1, 0.05]
+        correct = [True, True, False, False]
+        precision, recall = precision_recall_curve(scores, correct, total_positives=2)
+        assert precision[0] == 1.0
+        assert recall[-1] == 1.0
+        assert area_under_curve(precision, recall) == pytest.approx(1.0)
+
+    def test_worst_ranking(self):
+        scores = [0.9, 0.8, 0.1]
+        correct = [False, False, True]
+        precision, recall = precision_recall_curve(scores, correct, total_positives=1)
+        assert precision[0] == 0.0
+        assert recall[-1] == 1.0
+
+    def test_recall_uses_total_positives(self):
+        precision, recall = precision_recall_curve([0.9], [True], total_positives=10)
+        assert recall[-1] == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            precision_recall_curve([0.5], [True], total_positives=0)
+        with pytest.raises(ValueError):
+            precision_recall_curve([0.5, 0.4], [True], total_positives=1)
+        with pytest.raises(ValueError):
+            precision_at_k([0.5], [True], k=0)
+
+    def test_empty_predictions(self):
+        precision, recall = precision_recall_curve([], [], total_positives=3)
+        assert recall[0] == 0.0
+        assert max_f1_point(np.array([]), np.array([])).f1 == 0.0
+
+    def test_max_f1_point(self):
+        precision = np.array([1.0, 1.0, 0.66, 0.5])
+        recall = np.array([0.25, 0.5, 0.5, 0.5])
+        best = max_f1_point(precision, recall)
+        assert best.f1 == pytest.approx(2 * 1.0 * 0.5 / 1.5)
+        assert best.threshold_rank == 2
+
+    def test_precision_at_k(self):
+        scores = [0.9, 0.8, 0.7, 0.6]
+        correct = [True, False, True, True]
+        assert precision_at_k(scores, correct, 2) == pytest.approx(0.5)
+        assert precision_at_k(scores, correct, 10) == pytest.approx(0.75)
+
+    def test_f1_score_zero_division(self):
+        assert f1_score(0.0, 0.0) == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 1), st.booleans()),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pr_curve_invariants(self, predictions, total_positives):
+        scores = [score for score, _ in predictions]
+        correct = [flag for _, flag in predictions]
+        total = max(total_positives, sum(correct), 1)
+        precision, recall = precision_recall_curve(scores, correct, total)
+        assert np.all((precision >= 0) & (precision <= 1))
+        assert np.all((recall >= 0) & (recall <= 1 + 1e-12))
+        assert np.all(np.diff(recall) >= -1e-12)  # recall is non-decreasing
+        auc = area_under_curve(precision, recall)
+        assert 0.0 <= auc <= 1.0 + 1e-9
+
+
+class _OracleBaggedPredictor:
+    """Predicts the gold relation of every bag with full confidence."""
+
+    def __init__(self, num_relations: int) -> None:
+        self.num_relations = num_relations
+
+    def __call__(self, bag) -> np.ndarray:
+        probabilities = np.full(self.num_relations, 1e-6)
+        probabilities[bag.label] = 1.0
+        return probabilities / probabilities.sum()
+
+
+class TestHeldOutEvaluator:
+    def test_oracle_gets_high_auc(self, nyt_context):
+        evaluator = HeldOutEvaluator(nyt_context.test_encoded, nyt_context.num_relations)
+        result = evaluator.evaluate(_OracleBaggedPredictor(nyt_context.num_relations), "oracle")
+        assert result.auc > 0.9
+        assert result.f1 > 0.9
+
+    def test_uniform_predictor_scores_low(self, nyt_context):
+        evaluator = HeldOutEvaluator(nyt_context.test_encoded, nyt_context.num_relations)
+        uniform = lambda bag: np.full(nyt_context.num_relations, 1.0 / nyt_context.num_relations)
+        result = evaluator.evaluate(uniform, "uniform")
+        assert result.auc < 0.6
+
+    def test_number_of_candidates(self, nyt_context):
+        evaluator = HeldOutEvaluator(nyt_context.test_encoded, nyt_context.num_relations)
+        records = evaluator.collect_records(_OracleBaggedPredictor(nyt_context.num_relations))
+        expected = len(nyt_context.test_encoded) * (nyt_context.num_relations - 1)
+        assert len(records) == expected
+
+    def test_summary_row_layout(self, nyt_context):
+        evaluator = HeldOutEvaluator(nyt_context.test_encoded, nyt_context.num_relations)
+        result = evaluator.evaluate(_OracleBaggedPredictor(nyt_context.num_relations), "oracle")
+        row = result.summary_row()
+        assert row[0] == "oracle"
+        assert len(row) == 7  # name, AUC, P, R, F1, P@100, P@200
+
+    def test_wrong_probability_shape_rejected(self, nyt_context):
+        evaluator = HeldOutEvaluator(nyt_context.test_encoded, nyt_context.num_relations)
+        with pytest.raises(ConfigurationError):
+            evaluator.evaluate(lambda bag: np.zeros(3), "broken")
+
+    def test_empty_test_set_rejected(self, nyt_context):
+        with pytest.raises(ConfigurationError):
+            HeldOutEvaluator([], nyt_context.num_relations)
+
+    def test_subset_evaluation(self, nyt_context):
+        evaluator = HeldOutEvaluator(nyt_context.test_encoded, nyt_context.num_relations)
+        pairs = [(bag.head_entity_id, bag.tail_entity_id) for bag in nyt_context.test_encoded[:5]]
+        result = evaluator.evaluate_subset(
+            _OracleBaggedPredictor(nyt_context.num_relations), pairs, "oracle"
+        )
+        assert result.num_predictions == 5 * (nyt_context.num_relations - 1)
+
+    def test_subset_with_no_matching_pairs(self, nyt_context):
+        evaluator = HeldOutEvaluator(nyt_context.test_encoded, nyt_context.num_relations)
+        result = evaluator.evaluate_subset(
+            _OracleBaggedPredictor(nyt_context.num_relations), [(-1, -1)], "oracle"
+        )
+        assert result.num_predictions == 0
+        assert result.f1 == 0.0
+
+
+class TestBucketedEvaluation:
+    def test_cooccurrence_buckets_cover_requested_count(self, nyt_context):
+        evaluator = HeldOutEvaluator(nyt_context.test_encoded, nyt_context.num_relations)
+        results = bucket_f1_by_cooccurrence(
+            evaluator,
+            _OracleBaggedPredictor(nyt_context.num_relations),
+            nyt_context.bundle,
+            num_buckets=3,
+        )
+        assert list(results) == ["Q1", "Q2", "Q3"]
+        assert all(0.0 <= value <= 1.0 for value in results.values())
+
+    def test_sentence_count_buckets_labels(self, nyt_context):
+        evaluator = HeldOutEvaluator(nyt_context.test_encoded, nyt_context.num_relations)
+        results = bucket_f1_by_sentence_count(
+            evaluator,
+            _OracleBaggedPredictor(nyt_context.num_relations),
+            nyt_context.test_encoded,
+            edges=(1, 2, 3),
+        )
+        assert list(results) == ["1", "2", ">=3"]
+
+    def test_bucket_validation(self, nyt_context):
+        evaluator = HeldOutEvaluator(nyt_context.test_encoded, nyt_context.num_relations)
+        with pytest.raises(ValueError):
+            bucket_f1_by_cooccurrence(
+                evaluator, _OracleBaggedPredictor(nyt_context.num_relations),
+                nyt_context.bundle, num_buckets=1,
+            )
+        with pytest.raises(ValueError):
+            bucket_f1_by_sentence_count(
+                evaluator, _OracleBaggedPredictor(nyt_context.num_relations),
+                nyt_context.test_encoded, edges=(1,),
+            )

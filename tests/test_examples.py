@@ -1,0 +1,61 @@
+"""Smoke tests for the runnable example scripts and the CLI runner."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=False,
+    )
+
+
+class TestExampleScripts:
+    def test_examples_directory_contents(self):
+        scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert {"quickstart.py", "dataset_statistics.py", "case_study_embeddings.py"} <= scripts
+        assert len(scripts) >= 3
+
+    def test_dataset_statistics_runs(self):
+        result = _run("dataset_statistics.py", "--profile", "tiny")
+        assert result.returncode == 0, result.stderr
+        assert "Table II" in result.stdout
+        assert "Figure 1" in result.stdout
+
+    @pytest.mark.slow
+    def test_quickstart_runs(self):
+        result = _run("quickstart.py", "--profile", "tiny")
+        assert result.returncode == 0, result.stderr
+        assert "PA-TMR" in result.stdout or "AUC" in result.stdout
+
+    def test_case_study_runs(self, tmp_path):
+        result = _run(
+            "case_study_embeddings.py", "--profile", "tiny", "--output", str(tmp_path / "proj.csv")
+        )
+        assert result.returncode == 0, result.stderr
+        assert (tmp_path / "proj.csv").exists()
+
+
+class TestRunnerCli:
+    def test_runner_table3(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.runner",
+             "--experiment", "table3", "--profile", "tiny"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            check=False,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Table III" in result.stdout

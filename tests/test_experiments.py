@@ -1,0 +1,90 @@
+"""Tests for the experiment modules (integration-level, tiny scale)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ScaleProfile
+from repro.experiments import case_study, figure1, figure6, figure7, table2, table3, table4
+from repro.experiments.pipeline import evaluate_methods, prepare_context, train_and_evaluate
+from repro.exceptions import ConfigurationError
+
+
+class TestPipeline:
+    def test_prepare_context_contents(self, nyt_context):
+        assert nyt_context.num_relations == nyt_context.bundle.schema.num_relations
+        assert len(nyt_context.train_encoded) == len(nyt_context.bundle.train)
+        assert nyt_context.entity_embeddings.dim > 0
+        assert nyt_context.proximity_graph.num_edges > 0
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            prepare_context("ace2005", profile=ScaleProfile.tiny())
+
+    def test_method_results_are_cached(self, nyt_context, trained_pcnn_att):
+        method_again, _ = train_and_evaluate(nyt_context, "pcnn_att")
+        assert method_again is trained_pcnn_att[0]
+
+    def test_evaluate_methods_returns_all(self, nyt_context):
+        results = evaluate_methods(nyt_context, ["mintz", "pcnn_att"])
+        assert set(results) == {"mintz", "pcnn_att"}
+
+
+class TestLightweightExperiments:
+    def test_table2_report(self, tiny_profile, nyt_bundle, gds_bundle):
+        stats = table2.run(bundles={"SynthNYT": nyt_bundle, "SynthGDS": gds_bundle})
+        report = table2.format_report(stats)
+        assert "SynthNYT" in report and "SynthGDS" in report
+        assert stats["SynthNYT"]["relations"]["count"] == 12
+
+    def test_table3_report_contains_paper_values(self, tiny_profile):
+        settings = table3.run(tiny_profile)
+        report = table3.format_report(settings)
+        assert settings["paper"]["num_filters"] == 230
+        assert "230" in report
+
+    def test_figure1_long_tail(self, nyt_bundle, gds_bundle):
+        histograms = figure1.run(bundles={"SynthNYT": nyt_bundle, "SynthGDS": gds_bundle})
+        nyt_histogram = histograms["SynthNYT"]
+        assert sum(nyt_histogram.values()) == len(nyt_bundle.train)
+        # The defining property of Figure 1: most pairs have <10 sentences.
+        assert figure1.long_tail_fraction(nyt_histogram) > 0.5
+        assert "Figure 1" in figure1.format_report(histograms)
+
+    def test_case_study_neighbours(self, nyt_context):
+        results = case_study.run(context=nyt_context)
+        assert "university_of_washington" in results["neighbours"]
+        report = case_study.format_report(results)
+        assert "Table V" in report
+        names, projection = results["projection_names"], results["projection"]
+        assert projection.shape == (len(names), 3)
+
+
+class TestModelExperiments:
+    def test_table4_rows_and_improvement(self, nyt_context, trained_pcnn_att, trained_pa_tmr):
+        results = {"nyt": {"pcnn_att": trained_pcnn_att[1], "pa_tmr": trained_pa_tmr[1]}}
+        report = table4.format_report(results)
+        assert "PCNN+ATT" in report and "PA-TMR" in report
+        improvement = table4.improvement_over_baseline(results["nyt"])
+        assert isinstance(improvement, float)
+
+    def test_figure6_buckets(self, nyt_context, trained_pa_tmr):
+        results = figure6.run(methods=("pa_tmr",), num_buckets=3, context=nyt_context)
+        assert set(results) == {"pa_tmr"}
+        assert list(results["pa_tmr"]) == ["Q1", "Q2", "Q3"]
+        assert "Figure 6" in figure6.format_report(results)
+
+    def test_figure7_buckets(self, nyt_context, trained_pa_tmr, trained_pcnn_att):
+        results = figure7.run(methods=("pcnn_att", "pa_tmr"), edges=(1, 2, 4), context=nyt_context)
+        assert set(results) == {"pcnn_att", "pa_tmr"}
+        report = figure7.format_report(results)
+        assert "Figure 7" in report
+        advantage = figure7.advantage_on_infrequent_pairs(results)
+        assert isinstance(advantage, float)
+
+    def test_proposed_model_beats_its_base(self, trained_pcnn_att, trained_pa_tmr):
+        """The central claim of the paper at tiny scale: PA-TMR improves on PCNN+ATT."""
+        _, base_result = trained_pcnn_att
+        _, proposed_result = trained_pa_tmr
+        assert proposed_result.auc >= base_result.auc - 0.05

@@ -1,0 +1,227 @@
+"""Tests for the entity proximity graph, alias sampling, LINE and embeddings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.graph.alias import AliasSampler
+from repro.graph.embeddings import EntityEmbeddings, train_entity_embeddings
+from repro.graph.line import LineConfig, LineEmbeddingTrainer
+from repro.graph.proximity import EntityProximityGraph
+
+
+@pytest.fixture()
+def triangle_graph():
+    counts = {("a", "b"): 10, ("b", "c"): 5, ("a", "c"): 1, ("c", "d"): 3}
+    return EntityProximityGraph.from_counts(counts)
+
+
+class TestAliasSampler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AliasSampler([])
+        with pytest.raises(ValueError):
+            AliasSampler([-1.0, 2.0])
+        with pytest.raises(ValueError):
+            AliasSampler([0.0, 0.0])
+
+    def test_single_outcome(self):
+        sampler = AliasSampler([1.0])
+        assert sampler.sample(np.random.default_rng(0)) == 0
+
+    def test_empirical_distribution_matches_weights(self):
+        weights = np.array([1.0, 2.0, 7.0])
+        sampler = AliasSampler(weights)
+        draws = sampler.sample(np.random.default_rng(0), size=20000)
+        frequencies = np.bincount(draws, minlength=3) / 20000
+        np.testing.assert_allclose(frequencies, weights / weights.sum(), atol=0.02)
+
+    def test_zero_weight_never_sampled(self):
+        sampler = AliasSampler([0.0, 1.0])
+        draws = sampler.sample(np.random.default_rng(1), size=5000)
+        assert np.all(draws == 1)
+
+    @given(st.lists(st.floats(0.01, 10.0), min_size=1, max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_samples_are_valid_indices(self, weights):
+        sampler = AliasSampler(weights)
+        draws = sampler.sample(np.random.default_rng(3), size=50)
+        assert np.all((draws >= 0) & (draws < len(weights)))
+
+
+class TestProximityGraph:
+    def test_counts_and_weights(self, triangle_graph):
+        assert triangle_graph.num_vertices == 4
+        assert triangle_graph.num_edges == 4
+        assert triangle_graph.cooccurrence("a", "b") == 10
+        assert triangle_graph.cooccurrence("b", "a") == 10  # symmetric
+
+    def test_weight_normalisation(self, triangle_graph):
+        # Most frequent pair has weight 1, less frequent pairs less.
+        assert triangle_graph.edge_weight("a", "b") == pytest.approx(1.0)
+        assert 0 < triangle_graph.edge_weight("a", "c") < triangle_graph.edge_weight("b", "c")
+
+    def test_threshold_filters_edges(self):
+        graph = EntityProximityGraph.from_counts(
+            {("a", "b"): 10, ("a", "c"): 1}, min_cooccurrence=2
+        )
+        assert graph.num_edges == 1
+        assert not graph.has_vertex("c")
+
+    def test_self_cooccurrence_ignored(self):
+        graph = EntityProximityGraph()
+        graph.add_cooccurrence("a", "a", 5)
+        graph.add_cooccurrence("a", "b", 2)
+        graph.finalize()
+        assert graph.num_edges == 1
+
+    def test_empty_graph_rejected(self):
+        graph = EntityProximityGraph(min_cooccurrence=5)
+        graph.add_cooccurrence("a", "b", 1)
+        with pytest.raises(GraphError):
+            graph.finalize()
+
+    def test_query_before_finalize_rejected(self):
+        graph = EntityProximityGraph()
+        graph.add_cooccurrence("a", "b")
+        with pytest.raises(GraphError):
+            graph.num_vertices
+
+    def test_add_after_finalize_rejected(self, triangle_graph):
+        with pytest.raises(GraphError):
+            triangle_graph.add_cooccurrence("x", "y")
+
+    def test_common_neighbors(self, triangle_graph):
+        assert triangle_graph.common_neighbors("a", "c") == ["b"]
+
+    def test_degree_vector_positive(self, triangle_graph):
+        degrees = triangle_graph.degree_vector()
+        assert degrees.shape == (4,)
+        assert np.all(degrees > 0)
+
+    def test_edge_arrays_consistent(self, triangle_graph):
+        sources, targets, weights = triangle_graph.edge_arrays()
+        assert len(sources) == len(targets) == len(weights) == 4
+        assert np.all(weights > 0)
+
+    def test_to_networkx(self, triangle_graph):
+        exported = triangle_graph.to_networkx()
+        assert exported.number_of_nodes() == 4
+        assert exported.number_of_edges() == 4
+
+    def test_from_sentences(self, nyt_bundle):
+        graph = EntityProximityGraph.from_sentences(nyt_bundle.unlabeled_sentences)
+        assert graph.num_vertices > 0
+        assert graph.num_edges > 0
+
+
+class TestLineTrainer:
+    def test_config_validation(self):
+        with pytest.raises(GraphError):
+            LineConfig(embedding_dim=7)
+        with pytest.raises(GraphError):
+            LineConfig(negative_samples=0)
+
+    def test_training_reduces_loss(self, triangle_graph):
+        config = LineConfig(embedding_dim=8, epochs=200, batch_edges=4, seed=0)
+        trainer = LineEmbeddingTrainer(triangle_graph, config)
+        history = trainer.train()
+        first_losses = history["first_order_loss"]
+        assert np.mean(first_losses[-20:]) < np.mean(first_losses[:20])
+
+    def test_embedding_matrix_shape_and_norm(self, triangle_graph):
+        trainer = LineEmbeddingTrainer(triangle_graph, LineConfig(embedding_dim=8, epochs=5, batch_edges=4))
+        trainer.train()
+        matrix = trainer.embedding_matrix()
+        assert matrix.shape == (4, 8)
+        halves = np.linalg.norm(matrix[:, :4], axis=1)
+        np.testing.assert_allclose(halves, np.ones(4), rtol=1e-6)
+
+    def test_connected_entities_become_similar(self):
+        # Two clusters with a single weak bridge: intra-cluster pairs should
+        # end up more similar than cross-cluster pairs.
+        counts = {}
+        cluster_a = [f"a{i}" for i in range(5)]
+        cluster_b = [f"b{i}" for i in range(5)]
+        for group in (cluster_a, cluster_b):
+            for i, first in enumerate(group):
+                for second in group[i + 1:]:
+                    counts[(first, second)] = 20
+        counts[("a0", "b0")] = 1
+        graph = EntityProximityGraph.from_counts(counts)
+        embeddings = train_entity_embeddings(
+            graph, LineConfig(embedding_dim=16, epochs=300, batch_edges=16, seed=0)
+        )
+        intra = embeddings.cosine_similarity("a1", "a2")
+        cross = embeddings.cosine_similarity("a1", "b2")
+        assert intra > cross
+
+
+class TestEntityEmbeddings:
+    def test_shape_validation(self):
+        with pytest.raises(GraphError):
+            EntityEmbeddings(["a"], np.zeros((2, 3)))
+        with pytest.raises(GraphError):
+            EntityEmbeddings(["a", "a"], np.zeros((2, 3)))
+
+    def test_unknown_entity_gets_zero_vector(self):
+        embeddings = EntityEmbeddings(["a"], np.ones((1, 4)))
+        np.testing.assert_allclose(embeddings.vector("missing"), np.zeros(4))
+
+    def test_mutual_relation_is_difference(self):
+        vectors = np.array([[1.0, 0.0], [0.0, 2.0]])
+        embeddings = EntityEmbeddings(["head", "tail"], vectors)
+        np.testing.assert_allclose(embeddings.mutual_relation("head", "tail"), [-1.0, 2.0])
+
+    def test_nearest_excludes_query(self):
+        vectors = np.array([[1.0, 0.0], [0.9, 0.1], [0.0, 1.0]])
+        embeddings = EntityEmbeddings(["a", "b", "c"], vectors)
+        nearest = embeddings.nearest("a", k=2)
+        assert nearest[0][0] == "b"
+        assert all(name != "a" for name, _ in nearest)
+
+    def test_nearest_unknown_entity_raises(self):
+        embeddings = EntityEmbeddings(["a"], np.ones((1, 2)))
+        with pytest.raises(KeyError):
+            embeddings.nearest("zzz")
+
+    def test_analogous_pairs_ranks_parallel_offsets_first(self):
+        vectors = np.array([
+            [0.0, 0.0],   # u1
+            [1.0, 0.0],   # c1  (offset +x)
+            [5.0, 5.0],   # u2
+            [6.0, 5.0],   # c2  (offset +x, same direction)
+            [9.0, 0.0],   # u3
+            [9.0, 2.0],   # c3  (offset +y, different direction)
+        ])
+        names = ["u1", "c1", "u2", "c2", "u3", "c3"]
+        embeddings = EntityEmbeddings(names, vectors)
+        ranked = embeddings.analogous_pairs("u1", "c1", [("u2", "c2"), ("u3", "c3")])
+        assert ranked[0][0] == ("u2", "c2")
+
+    def test_projection_shape(self):
+        embeddings = EntityEmbeddings(["a", "b", "c"], np.random.default_rng(0).standard_normal((3, 6)))
+        names, projection = embeddings.projection(dimensions=2)
+        assert projection.shape == (3, 2)
+        assert names == ["a", "b", "c"]
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        embeddings = EntityEmbeddings(["a", "b"], np.arange(8.0).reshape(2, 4))
+        path = tmp_path / "embeddings.npz"
+        embeddings.save(path)
+        loaded = EntityEmbeddings.load(path)
+        assert loaded.names == ["a", "b"]
+        np.testing.assert_allclose(loaded.vectors, embeddings.vectors)
+
+    def test_train_entity_embeddings_order_selection(self, triangle_graph):
+        config = LineConfig(embedding_dim=8, epochs=5, batch_edges=4, seed=0)
+        both = train_entity_embeddings(triangle_graph, config, order="both")
+        first = train_entity_embeddings(triangle_graph, config, order="first")
+        assert both.dim == 8
+        assert first.dim == 4
+        with pytest.raises(GraphError):
+            train_entity_embeddings(triangle_graph, config, order="third")

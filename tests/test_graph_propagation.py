@@ -1,0 +1,94 @@
+"""Tests for the graph-propagation refinement of entity embeddings
+(the paper's future-work extension implemented in repro.graph.propagation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.embeddings import EntityEmbeddings
+from repro.graph.propagation import (
+    embedding_shift,
+    low_degree_entities,
+    normalized_adjacency,
+    propagate_embeddings,
+)
+from repro.graph.proximity import EntityProximityGraph
+
+
+@pytest.fixture()
+def star_graph():
+    # Hub "h" connected to leaves; one pair of leaves also connected.
+    counts = {("h", "a"): 5, ("h", "b"): 5, ("h", "c"): 5, ("a", "b"): 2}
+    return EntityProximityGraph.from_counts(counts)
+
+
+@pytest.fixture()
+def star_embeddings(star_graph):
+    rng = np.random.default_rng(0)
+    vectors = rng.standard_normal((star_graph.num_vertices, 6))
+    return EntityEmbeddings(star_graph.vertices, vectors)
+
+
+class TestNormalizedAdjacency:
+    def test_symmetric_with_unit_row_scale(self, star_graph):
+        adjacency = normalized_adjacency(star_graph)
+        assert adjacency.shape == (4, 4)
+        np.testing.assert_allclose(adjacency, adjacency.T)
+        # Self-loops guarantee a strictly positive diagonal.
+        assert np.all(np.diag(adjacency) > 0)
+
+    def test_spectral_radius_at_most_one(self, star_graph):
+        adjacency = normalized_adjacency(star_graph)
+        eigenvalues = np.linalg.eigvalsh(adjacency)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+
+class TestPropagation:
+    def test_output_shape_and_names(self, star_graph, star_embeddings):
+        propagated = propagate_embeddings(star_graph, star_embeddings)
+        assert len(propagated) == star_graph.num_vertices
+        assert propagated.dim == star_embeddings.dim
+        assert set(propagated.names) == set(star_graph.vertices)
+
+    def test_alpha_one_keeps_directions(self, star_graph, star_embeddings):
+        propagated = propagate_embeddings(star_graph, star_embeddings, alpha=1.0)
+        for name in star_graph.vertices:
+            assert embedding_shift(star_embeddings, propagated, name) < 1e-9
+
+    def test_propagation_pulls_neighbours_together(self, star_graph, star_embeddings):
+        propagated = propagate_embeddings(star_graph, star_embeddings, num_layers=3, alpha=0.2)
+        before = star_embeddings.cosine_similarity("a", "b")
+        after = propagated.cosine_similarity("a", "b")
+        assert after >= before
+
+    def test_unknown_entities_receive_neighbour_information(self, star_graph):
+        # Entity "c" has a zero vector (was missing from the unlabeled corpus
+        # embedding); after propagation it inherits a non-zero embedding.
+        vectors = np.ones((4, 3))
+        names = star_graph.vertices
+        vectors[names.index("c")] = 0.0
+        propagated = propagate_embeddings(star_graph, EntityEmbeddings(names, vectors), alpha=0.3)
+        assert np.linalg.norm(propagated.vector("c")) > 0
+
+    def test_validation(self, star_graph, star_embeddings):
+        with pytest.raises(GraphError):
+            propagate_embeddings(star_graph, star_embeddings, num_layers=0)
+        with pytest.raises(GraphError):
+            propagate_embeddings(star_graph, star_embeddings, alpha=1.5)
+
+    def test_renormalization_gives_unit_vectors(self, star_graph, star_embeddings):
+        propagated = propagate_embeddings(star_graph, star_embeddings, renormalize=True)
+        norms = np.linalg.norm(propagated.vectors, axis=1)
+        np.testing.assert_allclose(norms, np.ones(len(norms)), rtol=1e-9)
+
+
+class TestHelpers:
+    def test_low_degree_entities(self, star_graph):
+        lonely = low_degree_entities(star_graph, max_degree=1.0)
+        # The hub is clearly not low-degree.
+        assert "h" not in lonely
+
+    def test_embedding_shift_zero_for_identical(self, star_embeddings):
+        assert embedding_shift(star_embeddings, star_embeddings, "a") == pytest.approx(0.0)

@@ -1,0 +1,197 @@
+"""Tests for the knowledge-base substrate: schema, KB container, generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.kb.generator import CASE_STUDY_LOCATED_IN, KnowledgeBaseGenerator
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.schema import (
+    COARSE_ENTITY_TYPES,
+    GDS_RELATIONS,
+    NA_RELATION,
+    NYT_RELATIONS,
+    RelationSchema,
+    RelationType,
+    build_relation_inventory,
+    gds_schema,
+    nyt_schema,
+)
+
+
+class TestSchema:
+    def test_coarse_types_count_matches_paper(self):
+        assert len(COARSE_ENTITY_TYPES) == 38
+
+    def test_na_is_relation_zero(self):
+        schema = nyt_schema(10)
+        assert schema.na_id == 0
+        assert schema.relation_name(0) == NA_RELATION
+
+    def test_nyt_schema_default_size(self):
+        assert nyt_schema().num_relations == 53
+
+    def test_gds_schema_default_size(self):
+        assert gds_schema().num_relations == 5
+
+    def test_relation_id_roundtrip(self):
+        schema = nyt_schema(12)
+        for name in schema.relation_names:
+            assert schema.relation_name(schema.relation_id(name)) == name
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(KeyError):
+            nyt_schema(5).relation_id("/no/such/relation")
+
+    def test_positive_relation_ids_exclude_na(self):
+        schema = nyt_schema(6)
+        assert 0 not in schema.positive_relation_ids()
+        assert len(schema.positive_relation_ids()) == 5
+
+    def test_type_constraints_respected(self):
+        schema = nyt_schema(20)
+        head, tail = schema.type_constraint("/people/person/place_of_birth")
+        assert (head, tail) == ("person", "location")
+
+    def test_compatible_relations_always_include_na(self):
+        schema = nyt_schema(10)
+        assert schema.na_id in schema.compatible_relations("person", "location")
+
+    def test_synthetic_relations_appended_when_needed(self):
+        schema = build_relation_inventory(60, base=NYT_RELATIONS)
+        assert schema.num_relations == 60
+        assert any("synthetic" in name for name in schema.relation_names)
+
+    def test_minimum_two_relations(self):
+        with pytest.raises(ConfigurationError):
+            build_relation_inventory(1)
+
+    def test_duplicate_relations_rejected(self):
+        relation = RelationType("/r/x", "person", "location")
+        with pytest.raises(ConfigurationError):
+            RelationSchema([relation, relation])
+
+    def test_na_cannot_be_listed_explicitly(self):
+        with pytest.raises(ConfigurationError):
+            RelationSchema([RelationType(NA_RELATION, "person", "person")])
+
+    def test_relation_type_validates_types(self):
+        with pytest.raises(ConfigurationError):
+            RelationType("/bad", "martian", "location")
+
+    def test_gds_relations_are_type_valid(self):
+        for relation in GDS_RELATIONS:
+            assert relation.head_type in COARSE_ENTITY_TYPES
+
+
+class TestKnowledgeBase:
+    def _simple_kb(self):
+        schema = nyt_schema(6)
+        kb = KnowledgeBase(schema=schema)
+        person = kb.add_entity("barack_obama", ["person"])
+        place = kb.add_entity("hawaii", ["location"])
+        kb.add_triple(person.entity_id, schema.relation_id("/people/person/place_of_birth"), place.entity_id)
+        return schema, kb
+
+    def test_add_and_query(self):
+        schema, kb = self._simple_kb()
+        assert kb.num_entities == 2
+        assert kb.num_triples == 1
+        relations = kb.relations_for_pair(0, 1)
+        assert schema.relation_id("/people/person/place_of_birth") in relations
+
+    def test_entity_by_name(self):
+        _, kb = self._simple_kb()
+        assert kb.entity_by_name("hawaii").entity_id == 1
+        with pytest.raises(KeyError):
+            kb.entity_by_name("mars")
+
+    def test_duplicate_entity_rejected(self):
+        _, kb = self._simple_kb()
+        with pytest.raises(DataError):
+            kb.add_entity("hawaii", ["location"])
+
+    def test_triple_with_unknown_entity_rejected(self):
+        _, kb = self._simple_kb()
+        with pytest.raises(DataError):
+            kb.add_triple(0, 1, 99)
+
+    def test_validate_detects_type_violation(self):
+        schema, kb = self._simple_kb()
+        # hawaii (location) as head of a person-headed relation violates types.
+        kb.add_triple(1, schema.relation_id("/people/person/place_of_birth"), 0)
+        with pytest.raises(DataError):
+            kb.validate()
+
+    def test_entities_of_type(self):
+        _, kb = self._simple_kb()
+        assert [e.name for e in kb.entities_of_type("location")] == ["hawaii"]
+
+    def test_from_entities_and_triples(self):
+        schema = nyt_schema(6)
+        kb = KnowledgeBase.from_entities_and_triples(
+            schema,
+            [("a", ["person"]), ("b", ["location"])],
+            [("a", "/people/person/place_of_birth", "b")],
+        )
+        assert kb.num_triples == 1
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def generated(self):
+        schema = nyt_schema(12)
+        generator = KnowledgeBaseGenerator(schema, num_entities=120, seed=0)
+        return schema, generator.generate(num_entity_pairs=150)
+
+    def test_entity_count(self, generated):
+        _, kb = generated
+        assert kb.num_entities == 120
+
+    def test_triples_are_type_consistent(self, generated):
+        _, kb = generated
+        kb.validate()  # raises on violation
+
+    def test_contains_na_and_positive_pairs(self, generated):
+        schema, kb = generated
+        labels = {relation for triple in kb.triples for relation in [triple.relation_id]}
+        assert schema.na_id in labels
+        assert any(label != schema.na_id for label in labels)
+
+    def test_case_study_entities_present(self, generated):
+        _, kb = generated
+        assert kb.has_entity("seattle")
+        assert kb.has_entity("university_of_washington")
+
+    def test_case_study_pairs_have_relations_with_full_schema(self):
+        # The located-in style relation only exists in larger schema prefixes,
+        # so the case-study triples need a schema with enough relations.
+        schema = nyt_schema(30)
+        kb = KnowledgeBaseGenerator(schema, num_entities=80, seed=0).generate(100)
+        university, city = CASE_STUDY_LOCATED_IN[0]
+        head = kb.entity_by_name(university).entity_id
+        tail = kb.entity_by_name(city).entity_id
+        assert kb.relations_for_pair(head, tail)
+
+    def test_reproducible_given_seed(self):
+        schema = nyt_schema(8)
+        first = KnowledgeBaseGenerator(schema, num_entities=60, seed=3).generate(80)
+        second = KnowledgeBaseGenerator(schema, num_entities=60, seed=3).generate(80)
+        assert [t for t in first.triples] == [t for t in second.triples]
+
+    def test_validation_of_parameters(self):
+        schema = nyt_schema(8)
+        with pytest.raises(ConfigurationError):
+            KnowledgeBaseGenerator(schema, num_entities=5)
+        with pytest.raises(ConfigurationError):
+            KnowledgeBaseGenerator(schema, na_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            KnowledgeBaseGenerator(schema).generate(2)
+
+    def test_disable_case_study(self):
+        schema = gds_schema(5)
+        kb = KnowledgeBaseGenerator(
+            schema, num_entities=60, include_case_study=False, seed=1
+        ).generate(60)
+        assert not kb.has_entity("seattle")

@@ -1,0 +1,164 @@
+"""Tests for the text substrate: vocabulary, tokeniser, position features."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.position import (
+    clip_position,
+    num_position_ids,
+    pad_sequences,
+    relative_positions,
+    segment_ids_for_entities,
+)
+from repro.text.tokenizer import WhitespaceTokenizer, simple_tokenize
+from repro.text.vocab import PAD_TOKEN, UNK_TOKEN, Vocabulary
+
+
+class TestVocabulary:
+    def test_reserved_tokens(self):
+        vocab = Vocabulary()
+        assert vocab.pad_id == 0
+        assert vocab.unk_id == 1
+        assert len(vocab) == 2
+
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("seattle")
+        second = vocab.add("seattle")
+        assert first == second
+
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocabulary(["seattle"])
+        assert vocab.token_to_id("mars") == vocab.unk_id
+
+    def test_encode_decode_roundtrip_for_known_tokens(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        tokens = ["a", "c", "b"]
+        assert vocab.decode(vocab.encode(tokens)) == tokens
+
+    def test_from_corpus_min_frequency(self):
+        sentences = [["rare", "common"], ["common"]]
+        vocab = Vocabulary.from_corpus(sentences, min_frequency=2)
+        assert "common" in vocab
+        assert "rare" not in vocab
+
+    def test_from_corpus_max_size(self):
+        sentences = [["a", "b", "c", "a", "b", "a"]]
+        vocab = Vocabulary.from_corpus(sentences, max_size=2)
+        assert len(vocab) == 4  # pad + unk + 2 kept tokens
+        assert "a" in vocab and "b" in vocab and "c" not in vocab
+
+    def test_from_corpus_deterministic_ordering(self):
+        sentences = [["b", "a"]]
+        first = Vocabulary.from_corpus(sentences).to_list()
+        second = Vocabulary.from_corpus(sentences).to_list()
+        assert first == second
+
+    def test_to_from_list_roundtrip(self):
+        vocab = Vocabulary(["x", "y"])
+        rebuilt = Vocabulary.from_list(vocab.to_list())
+        assert rebuilt.token_to_id("y") == vocab.token_to_id("y")
+
+    def test_from_list_requires_reserved_prefix(self):
+        with pytest.raises(ValueError):
+            Vocabulary.from_list(["a", "b"])
+
+    @given(st.lists(st.text(alphabet="abcde", min_size=1, max_size=5), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_encode_ids_are_valid(self, tokens):
+        vocab = Vocabulary.from_corpus([tokens])
+        ids = vocab.encode(tokens)
+        assert all(0 <= index < len(vocab) for index in ids)
+        assert vocab.decode(ids) == tokens
+
+
+class TestTokenizer:
+    def test_splits_words_and_punctuation(self):
+        assert simple_tokenize("Obama was born in Hawaii.") == [
+            "obama", "was", "born", "in", "hawaii", ".",
+        ]
+
+    def test_keeps_underscore_entities_together(self):
+        tokens = simple_tokenize("university_of_washington is in seattle")
+        assert tokens[0] == "university_of_washington"
+
+    def test_case_preserved_when_requested(self):
+        tokenizer = WhitespaceTokenizer(lowercase=False)
+        assert tokenizer("Seattle")[0] == "Seattle"
+
+    def test_callable_and_method_agree(self):
+        tokenizer = WhitespaceTokenizer()
+        assert tokenizer("a b") == tokenizer.tokenize("a b")
+
+
+class TestPositions:
+    def test_clip_position_bounds(self):
+        assert clip_position(-100, 10) == 0
+        assert clip_position(100, 10) == 20
+        assert clip_position(0, 10) == 10
+
+    def test_num_position_ids(self):
+        assert num_position_ids(60) == 121
+
+    def test_relative_positions_center_on_entities(self):
+        heads, tails = relative_positions(5, head_index=1, tail_index=3, max_distance=10)
+        assert heads[1] == 10  # distance zero maps to max_distance
+        assert tails[3] == 10
+        assert heads[0] == 9
+        assert heads[4] == 13
+
+    def test_relative_positions_validation(self):
+        with pytest.raises(ValueError):
+            relative_positions(3, head_index=5, tail_index=0, max_distance=5)
+        with pytest.raises(ValueError):
+            relative_positions(0, 0, 0, 5)
+
+    def test_segment_ids_three_segments(self):
+        segments = segment_ids_for_entities(6, head_index=1, tail_index=3)
+        np.testing.assert_array_equal(segments, [0, 0, 1, 1, 2, 2])
+
+    def test_segment_ids_entity_order_does_not_matter(self):
+        a = segment_ids_for_entities(6, 1, 3)
+        b = segment_ids_for_entities(6, 3, 1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_segment_ids_validation(self):
+        with pytest.raises(ValueError):
+            segment_ids_for_entities(3, 4, 0)
+
+    @given(
+        st.integers(min_value=2, max_value=30),
+        st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_relative_positions_in_range(self, length, max_distance):
+        head = length // 2
+        tail = length - 1
+        heads, tails = relative_positions(length, head, tail, max_distance)
+        upper = num_position_ids(max_distance)
+        assert all(0 <= p < upper for p in heads)
+        assert all(0 <= p < upper for p in tails)
+
+    @given(st.integers(min_value=1, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_segment_ids_monotone(self, length):
+        head = 0
+        tail = length - 1
+        segments = segment_ids_for_entities(length, head, tail)
+        assert np.all(np.diff(segments) >= 0)
+
+
+class TestPadSequences:
+    def test_padding_and_mask(self):
+        padded, mask = pad_sequences([[1, 2], [3]], max_length=4, pad_value=0)
+        np.testing.assert_array_equal(padded, [[1, 2, 0, 0], [3, 0, 0, 0]])
+        assert mask[0].sum() == 2 and mask[1].sum() == 1
+
+    def test_truncation(self):
+        padded, mask = pad_sequences([[1, 2, 3, 4, 5]], max_length=3)
+        np.testing.assert_array_equal(padded, [[1, 2, 3]])
+        assert mask.sum() == 3

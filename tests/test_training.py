@@ -1,0 +1,102 @@
+"""Tests for the training loop, callbacks and configuration validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig, TrainingConfig
+from repro.core.variants import build_model
+from repro.exceptions import ConfigurationError
+from repro.training.callbacks import EarlyStopping, LossHistory
+from repro.training.trainer import Trainer
+
+
+@pytest.fixture()
+def small_model(nyt_context):
+    return build_model(
+        "cnn",
+        nyt_context.vocab_size,
+        nyt_context.num_relations,
+        config=ModelConfig.scaled(0.1),
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestTrainer:
+    def test_training_reduces_loss(self, nyt_context, small_model):
+        config = TrainingConfig(epochs=4, batch_size=16, learning_rate=0.01, optimizer="adam", seed=0)
+        trainer = Trainer(small_model, nyt_context.num_relations, config)
+        result = trainer.fit(nyt_context.train_encoded[:60])
+        assert result.epochs_run == 4
+        assert result.epoch_losses[-1] < result.epoch_losses[0]
+
+    def test_model_left_in_eval_mode(self, nyt_context, small_model):
+        config = TrainingConfig(epochs=1, batch_size=16, learning_rate=0.01, optimizer="adam")
+        Trainer(small_model, nyt_context.num_relations, config).fit(nyt_context.train_encoded[:20])
+        assert not small_model.training
+
+    def test_empty_training_set_rejected(self, nyt_context, small_model):
+        trainer = Trainer(small_model, nyt_context.num_relations,
+                          TrainingConfig(epochs=1, batch_size=8, learning_rate=0.01, optimizer="adam"))
+        with pytest.raises(ConfigurationError):
+            trainer.fit([])
+
+    def test_train_batch_rejects_empty_batch(self, nyt_context, small_model):
+        trainer = Trainer(small_model, nyt_context.num_relations,
+                          TrainingConfig(epochs=1, batch_size=8, learning_rate=0.01, optimizer="adam"))
+        with pytest.raises(ConfigurationError):
+            trainer.train_batch([])
+
+    def test_sgd_optimizer_supported(self, nyt_context, small_model):
+        config = TrainingConfig(epochs=1, batch_size=16, learning_rate=0.3, optimizer="sgd")
+        result = Trainer(small_model, nyt_context.num_relations, config).fit(
+            nyt_context.train_encoded[:20]
+        )
+        assert result.epochs_run == 1
+
+    def test_early_stopping_interrupts_training(self, nyt_context, small_model):
+        config = TrainingConfig(epochs=50, batch_size=16, learning_rate=0.01, optimizer="adam")
+        stopper = EarlyStopping(patience=1, min_delta=1e9)  # impossible improvement
+        result = Trainer(small_model, nyt_context.num_relations, config).fit(
+            nyt_context.train_encoded[:20], early_stopping=stopper
+        )
+        assert result.stopped_early
+        assert result.epochs_run < 50
+
+
+class TestCallbacks:
+    def test_loss_history_epoch_means(self):
+        history = LossHistory()
+        history.record_batch(2.0)
+        history.record_batch(4.0)
+        assert history.end_epoch() == pytest.approx(3.0)
+        assert history.last_epoch_loss == pytest.approx(3.0)
+
+    def test_loss_history_empty_epoch_is_nan(self):
+        history = LossHistory()
+        assert np.isnan(history.end_epoch())
+
+    def test_early_stopping_resets_on_improvement(self):
+        stopper = EarlyStopping(patience=2)
+        assert not stopper.should_stop(1.0)
+        assert not stopper.should_stop(0.5)
+        assert not stopper.should_stop(0.6)
+        assert stopper.should_stop(0.7)
+
+    def test_early_stopping_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+
+
+class TestTrainingConfig:
+    def test_validation_errors(self):
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(epochs=0).validate()
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(optimizer="rmsprop").validate()
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(na_class_weight=0).validate()
+
+    def test_paper_defaults_are_valid(self):
+        TrainingConfig().validate()
