@@ -8,6 +8,8 @@ single training step of the full PA-TMR model.
 
 from __future__ import annotations
 
+import copy
+
 from repro.experiments import ablations
 from repro.experiments.pipeline import train_and_evaluate
 from repro.training.trainer import Trainer
@@ -24,10 +26,14 @@ def test_ablation_attention_vs_heads(benchmark, nyt_ctx):
     # (the Figure 5 claim restated as an ablation).
     assert results["pcnn+tmr"].auc >= results["pcnn"].auc - 0.02
 
-    # Timed kernel: one bag-level training step of the full model.
+    # Timed kernel: one bag-level training step of the full model.  Train a
+    # deep copy: the cached pa_tmr is shared with the figure 6/7 benchmarks,
+    # and the benchmark loop's round count varies with machine speed, so
+    # training the shared model in place would make later results flaky.
     method, _ = train_and_evaluate(nyt_ctx, "pa_tmr")
+    scratch_model = copy.deepcopy(method.model)
     trainer = Trainer(
-        method.model, nyt_ctx.num_relations, nyt_ctx.training_config
+        scratch_model, nyt_ctx.num_relations, nyt_ctx.training_config
     )
     batch = nyt_ctx.train_encoded[: nyt_ctx.training_config.batch_size]
     benchmark(trainer.train_batch, batch)

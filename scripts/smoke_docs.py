@@ -1,0 +1,95 @@
+"""Execute every python code block in README.md and docs/*.md.
+
+Documentation examples rot silently; this script keeps them honest by
+extracting every fenced ``python`` block and executing it.  Blocks within one
+document share a namespace (so a later block can use objects built by an
+earlier one), mirroring how a reader would follow the page top to bottom.
+
+Fenced blocks tagged anything other than ``python`` (e.g. ``text``) are
+ignored.  A block tagged ``python no-smoke`` is skipped.
+
+Run:  PYTHONPATH=src python scripts/smoke_docs.py [files...]
+Exit status is non-zero if any block fails, printing the offending document,
+block number and traceback.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import time
+import traceback
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+DEFAULT_DOCS = ["README.md", "docs/architecture.md", "docs/serving.md"]
+
+_FENCE = re.compile(
+    r"^```(?P<info>[^\n]*)\n(?P<body>.*?)^```\s*$",
+    re.MULTILINE | re.DOTALL,
+)
+
+
+def extract_python_blocks(markdown: str) -> List[str]:
+    """Fenced ``python`` blocks of a markdown document, in order."""
+    blocks = []
+    for match in _FENCE.finditer(markdown):
+        info = match.group("info").strip().lower()
+        if info.split()[:1] == ["python"] and "no-smoke" not in info:
+            blocks.append(match.group("body"))
+    return blocks
+
+
+def run_document(path: Path) -> Tuple[int, List[str]]:
+    """Execute a document's blocks in one shared namespace.
+
+    Returns (number of blocks executed, list of failure descriptions).
+    """
+    blocks = extract_python_blocks(path.read_text(encoding="utf-8"))
+    namespace: Dict[str, object] = {"__name__": f"smoke_docs::{path.name}"}
+    failures: List[str] = []
+    for index, block in enumerate(blocks, start=1):
+        try:
+            code = compile(block, f"{path}#block{index}", "exec")
+            exec(code, namespace)  # noqa: S102 - executing our own docs is the point
+        except Exception:
+            failures.append(
+                f"{path} block {index} failed:\n{traceback.format_exc()}"
+            )
+    return len(blocks), failures
+
+
+def main(argv: List[str]) -> int:
+    paths = [Path(arg) for arg in argv] or [REPO_ROOT / name for name in DEFAULT_DOCS]
+    total = 0
+    all_failures: List[str] = []
+    for path in paths:
+        if not path.exists():
+            all_failures.append(f"{path}: document not found")
+            continue
+        start = time.perf_counter()
+        count, failures = run_document(path)
+        status = "ok" if not failures else f"{len(failures)} FAILED"
+        print(
+            f"{path.relative_to(REPO_ROOT) if path.is_absolute() else path}: "
+            f"{count} block(s), {status} ({time.perf_counter() - start:.1f}s)"
+        )
+        total += count
+        all_failures.extend(failures)
+
+    if all_failures:
+        print()
+        for failure in all_failures:
+            print(failure)
+        return 1
+    print(f"\nall {total} documented code blocks executed successfully")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

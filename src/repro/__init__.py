@@ -12,10 +12,16 @@ The package is organised as:
 * :mod:`repro.baselines` — every compared method;
 * :mod:`repro.training`, :mod:`repro.eval` — training loop and held-out
   evaluation;
-* :mod:`repro.experiments` — one module per table/figure of the paper.
+* :mod:`repro.experiments` — one module per table/figure of the paper;
+* :mod:`repro.serve` — batched inference service over a trained model;
+* :mod:`repro.utils` — logging, rng, serialization and the artifact cache
+  shared by the experiments and the serving layer.
+
+See ``README.md`` for the module map and the paper table/figure index, and
+``docs/`` for the architecture and serving guides.
 """
 
-from . import nn
+from . import nn, serve
 from .config import (
     ExperimentConfig,
     GraphEmbeddingConfig,
@@ -47,7 +53,9 @@ from .core import (
 from .eval import HeldOutEvaluator
 from .graph import EntityEmbeddings, EntityProximityGraph, LineConfig, train_entity_embeddings
 from .kb import KnowledgeBase, KnowledgeBaseGenerator, RelationSchema
+from .serve import PredictionRequest, PredictionResult, PredictionService
 from .training import Trainer
+from .utils import ArtifactCache
 
 __version__ = "1.0.0"
 
@@ -86,5 +94,10 @@ __all__ = [
     "KnowledgeBaseGenerator",
     "RelationSchema",
     "Trainer",
+    "serve",
+    "PredictionService",
+    "PredictionRequest",
+    "PredictionResult",
+    "ArtifactCache",
     "__version__",
 ]

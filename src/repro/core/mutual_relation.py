@@ -70,12 +70,21 @@ class MutualRelationHead(nn.Module):
         return int(self._entity_vectors.shape[0])
 
     def mutual_relation_vector(self, head_entity_id: int, tail_entity_id: int) -> np.ndarray:
-        """``MR = U_tail - U_head`` as a plain numpy vector."""
-        if not 0 <= head_entity_id < self.num_entities:
+        """``MR = U_tail - U_head`` as a plain numpy vector.
+
+        Entity id ``-1`` marks an entity unknown to the knowledge base (an
+        ad-hoc serving request for an unseen entity); it contributes a zero
+        vector, the same fallback entities outside the proximity graph get
+        from :func:`build_entity_vector_table`.
+        """
+        if not -1 <= head_entity_id < self.num_entities:
             raise ConfigurationError(f"head entity id {head_entity_id} out of range")
-        if not 0 <= tail_entity_id < self.num_entities:
+        if not -1 <= tail_entity_id < self.num_entities:
             raise ConfigurationError(f"tail entity id {tail_entity_id} out of range")
-        return self._entity_vectors[tail_entity_id] - self._entity_vectors[head_entity_id]
+        zero = np.zeros(self.embedding_dim)
+        head = self._entity_vectors[head_entity_id] if head_entity_id >= 0 else zero
+        tail = self._entity_vectors[tail_entity_id] if tail_entity_id >= 0 else zero
+        return tail - head
 
     def forward(self, bag: EncodedBag) -> Tensor:
         """Relation logits (apply softmax downstream to obtain ``C^{MR}``)."""

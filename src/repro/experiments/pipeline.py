@@ -11,11 +11,18 @@ Every quantitative experiment follows the same steps:
 :func:`prepare_context` performs steps 1-3 once so several methods can be
 compared on identical data, and :func:`train_and_evaluate` performs step 4
 for a single named method.
+
+Steps 2-3 are pure functions of (dataset, profile, seed, stage config), so
+:func:`prepare_context` can persist them through a
+:class:`repro.utils.artifacts.ArtifactCache`: pass ``cache=``/``cache_dir=``
+explicitly, or install a process-wide default with :func:`set_default_cache`
+(what ``python -m repro.experiments.runner --cache-dir ...`` does) so every
+experiment and the serving layer share one set of artifacts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -25,12 +32,13 @@ from ..baselines.registry import build_method, display_name
 from ..config import ExperimentConfig, ModelConfig, ScaleProfile, TrainingConfig
 from ..corpus.bags import EncodedBag
 from ..corpus.datasets import DatasetBundle, build_synth_gds, build_synth_nyt
-from ..corpus.loader import BagEncoder
+from ..corpus.loader import BagEncoder, load_encoded_bags, save_encoded_bags
 from ..eval.heldout import EvaluationResult, HeldOutEvaluator
 from ..exceptions import ConfigurationError
 from ..graph.embeddings import EntityEmbeddings, train_entity_embeddings
 from ..graph.line import LineConfig
 from ..graph.proximity import EntityProximityGraph
+from ..utils.artifacts import ArtifactCache, PathLike
 from ..utils.logging import get_logger
 
 logger = get_logger("experiments")
@@ -39,6 +47,34 @@ DATASET_BUILDERS = {
     "nyt": build_synth_nyt,
     "gds": build_synth_gds,
 }
+
+# Process-wide default artifact cache, installed by set_default_cache().
+_default_cache: Optional[ArtifactCache] = None
+
+# Folded into every cache key.  Bump whenever the *code* behind a cached
+# stage changes meaning (encoder semantics, graph weighting, file layout in a
+# backward-readable way) — configuration changes invalidate through the key
+# hash automatically, code changes only through this constant.
+PIPELINE_CACHE_VERSION = 1
+
+
+def set_default_cache(cache: Optional[ArtifactCache]) -> Optional[ArtifactCache]:
+    """Install (or clear, with ``None``) the default artifact cache.
+
+    Experiment modules call :func:`prepare_context` with no ``cache``
+    argument; installing a default here lets a driver (the CLI runner, the
+    benchmark harness, a serving process) turn on artifact reuse for every
+    context built afterwards.  Returns the previously installed cache.
+    """
+    global _default_cache
+    previous = _default_cache
+    _default_cache = cache
+    return previous
+
+
+def get_default_cache() -> Optional[ArtifactCache]:
+    """The currently installed default artifact cache, if any."""
+    return _default_cache
 
 
 @dataclass
@@ -76,6 +112,8 @@ def prepare_context(
     seed: int = 0,
     max_sentences_per_bag: int = 6,
     max_sentence_length: int = 25,
+    cache: Optional[ArtifactCache] = None,
+    cache_dir: Optional[PathLike] = None,
 ) -> ExperimentContext:
     """Build the shared experiment context for one dataset.
 
@@ -83,18 +121,36 @@ def prepare_context(
     cost; the synthetic sentences are short, so 40 tokens is lossless, and a
     handful of sentences per bag is what selective attention needs to show
     its effect.
+
+    When an :class:`ArtifactCache` is available — passed as ``cache``, built
+    from ``cache_dir``, or installed via :func:`set_default_cache` — the
+    proximity graph, the LINE entity embeddings and the encoded train/test
+    corpora are loaded from it when their configuration hash matches and
+    persisted after being built otherwise.
     """
     dataset = dataset.lower()
     if dataset not in DATASET_BUILDERS:
         raise ConfigurationError(f"unknown dataset '{dataset}' (expected 'nyt' or 'gds')")
     profile = profile or ScaleProfile.small()
     config = ExperimentConfig.for_profile(profile, seed=seed)
+    if cache is None:
+        cache = ArtifactCache(cache_dir) if cache_dir is not None else _default_cache
+    if cache is None:
+        # Disabled cache: every lookup builds, nothing is written — one code
+        # path whether or not caching is on.
+        cache = ArtifactCache(enabled=False)
 
     logger.info("building %s dataset (profile=%s, seed=%d)", dataset, profile.name, seed)
     bundle = DATASET_BUILDERS[dataset](profile, seed=seed)
 
     logger.info("building proximity graph from %d unlabeled sentences", len(bundle.unlabeled_sentences))
-    graph = EntityProximityGraph.from_counts(bundle.pair_cooccurrence)
+    stage_key = {
+        "dataset": dataset,
+        "profile": asdict(profile),
+        "seed": seed,
+        "format": PIPELINE_CACHE_VERSION,
+    }
+    graph_key = {**stage_key, "min_cooccurrence": config.graph.min_cooccurrence}
     line_config = LineConfig(
         embedding_dim=config.graph.embedding_dim,
         negative_samples=config.graph.negative_samples,
@@ -103,7 +159,23 @@ def prepare_context(
         batch_edges=config.graph.batch_edges,
         seed=seed,
     )
-    embeddings = train_entity_embeddings(graph, line_config)
+    graph = cache.get_or_build(
+        "proximity_graph",
+        graph_key,
+        build=lambda: EntityProximityGraph.from_counts(
+            bundle.pair_cooccurrence, min_cooccurrence=config.graph.min_cooccurrence
+        ),
+        save=lambda value, path: value.save(path),
+        load=EntityProximityGraph.load,
+    )
+    # The embeddings depend on the graph, so their key includes the graph key.
+    embeddings = cache.get_or_build(
+        "line_embeddings",
+        {**graph_key, "line": asdict(line_config)},
+        build=lambda: train_entity_embeddings(graph, line_config),
+        save=lambda value, path: value.save(path),
+        load=EntityEmbeddings.load,
+    )
 
     encoder = BagEncoder(
         bundle.vocabulary,
@@ -111,8 +183,26 @@ def prepare_context(
         max_position_distance=config.model.max_position_distance,
         max_sentences_per_bag=max_sentences_per_bag,
     )
-    train_encoded = encoder.encode_all(bundle.train.bags)
-    test_encoded = encoder.encode_all(bundle.test.bags)
+    encoder_key = {
+        **stage_key,
+        "max_sentence_length": max_sentence_length,
+        "max_position_distance": config.model.max_position_distance,
+        "max_sentences_per_bag": max_sentences_per_bag,
+    }
+    train_encoded = cache.get_or_build(
+        "encoded_bags",
+        {**encoder_key, "split": "train"},
+        build=lambda: encoder.encode_all(bundle.train.bags),
+        save=lambda value, path: save_encoded_bags(path, value),
+        load=load_encoded_bags,
+    )
+    test_encoded = cache.get_or_build(
+        "encoded_bags",
+        {**encoder_key, "split": "test"},
+        build=lambda: encoder.encode_all(bundle.test.bags),
+        save=lambda value, path: save_encoded_bags(path, value),
+        load=load_encoded_bags,
+    )
     evaluator = HeldOutEvaluator(test_encoded, bundle.schema.num_relations)
 
     return ExperimentContext(

@@ -9,6 +9,10 @@ Run a single experiment at the default ("small") scale::
 Run everything at the tiny (test) scale with a fixed seed::
 
     python -m repro.experiments.runner --experiment all --profile tiny --seed 7
+
+Reuse cached proximity-graph / LINE / encoded-corpus artifacts across runs::
+
+    python -m repro.experiments.runner --experiment table4 --cache-dir ~/.cache/repro
 """
 
 from __future__ import annotations
@@ -17,7 +21,9 @@ import argparse
 from typing import Callable, Dict, Optional
 
 from ..config import ScaleProfile
+from ..utils.artifacts import ArtifactCache
 from . import ablations, case_study, figure1, figure4, figure5, figure6, figure7, table2, table3, table4
+from .pipeline import set_default_cache
 
 PROFILES: Dict[str, Callable[[], ScaleProfile]] = {
     "tiny": ScaleProfile.tiny,
@@ -59,13 +65,26 @@ def main(argv: Optional[list] = None) -> int:
     )
     parser.add_argument("--profile", default="small", choices=sorted(PROFILES))
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the artifact cache; graph/LINE/encoded-corpus "
+        "artifacts are reused across runs when set",
+    )
     args = parser.parse_args(argv)
 
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
+    previous_cache = set_default_cache(cache)
     profile = PROFILES[args.profile]()
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        print(f"\n===== {name} (profile={profile.name}, seed={args.seed}) =====")
-        run_experiment(name, profile, args.seed)
+    try:
+        for name in names:
+            print(f"\n===== {name} (profile={profile.name}, seed={args.seed}) =====")
+            run_experiment(name, profile, args.seed)
+    finally:
+        set_default_cache(previous_cache)
+    if cache is not None:
+        print(f"\nartifact cache: {cache.stats.as_dict()} at {cache.root}")
     return 0
 
 

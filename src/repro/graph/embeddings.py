@@ -68,7 +68,16 @@ class EntityEmbeddings:
         return self.vectors[index]
 
     def mutual_relation(self, head_name: str, tail_name: str) -> np.ndarray:
-        """Implicit mutual relation ``MR = U_tail - U_head`` of an entity pair."""
+        """Implicit mutual relation ``MR = U_tail - U_head`` of an entity pair.
+
+        Either entity may be absent from the proximity graph (it never
+        co-occurred in the unlabeled corpus); :meth:`vector` then contributes
+        a zero vector, so the result degrades gracefully: ``U_tail`` alone if
+        only the head is unknown, ``-U_head`` if only the tail is unknown,
+        and the all-zero vector if both are — the failure mode for low-degree
+        vertices the paper's future-work section discusses.  No exception is
+        raised for unknown entities.
+        """
         return self.vector(tail_name) - self.vector(head_name)
 
     # ------------------------------------------------------------------ #

@@ -28,13 +28,38 @@ def _sigmoid(x: np.ndarray) -> np.ndarray:
 
 @dataclass
 class LineConfig:
-    """Hyper-parameters of the LINE embedding stage."""
+    """Hyper-parameters of the LINE embedding stage (Tang et al., 2015).
 
-    embedding_dim: int = 128          # total; split evenly between the two orders
-    negative_samples: int = 5         # K negative vertices per positive edge
+    Attributes
+    ----------
+    embedding_dim:
+        Total entity-embedding size (``ke`` in paper Table III).  Must be
+        even: the final vector concatenates a first-order and a second-order
+        embedding of ``embedding_dim // 2`` dimensions each.
+    negative_samples:
+        Number ``K`` of negative vertices drawn per positive edge in the
+        negative-sampling objective; negatives follow the degree^0.75 noise
+        distribution.
+    learning_rate:
+        SGD step size shared by both objectives.
+    epochs:
+        Expected number of passes over the edge set.  Edges are drawn with
+        probability proportional to their weight (alias sampling), so one
+        "epoch" is ``num_edges`` sampled edges rather than a strict sweep.
+    batch_edges:
+        Edges per SGD step; larger batches vectorise better but make coarser
+        updates.
+    seed:
+        Seed of the trainer's random generator (initialisation and both
+        samplers); fixing it makes the embedding stage fully deterministic,
+        which the artifact cache relies on.
+    """
+
+    embedding_dim: int = 128
+    negative_samples: int = 5
     learning_rate: float = 0.05
-    epochs: int = 30                  # passes over the edge set (in expectation)
-    batch_edges: int = 256            # edges per SGD step
+    epochs: int = 30
+    batch_edges: int = 256
     seed: int = 0
 
     def __post_init__(self) -> None:

@@ -206,6 +206,44 @@ class EntityProximityGraph:
         neighbors_second = set(self._adjacency.get(second, {}))
         return sorted(neighbors_first & neighbors_second)
 
+    # ------------------------------------------------------------------ #
+    # Persistence (artifact cache)
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> None:
+        """Save the raw co-occurrence counts and threshold to an ``.npz`` file.
+
+        The finalised state (weights, adjacency) is derived data and is
+        recomputed on :meth:`load`, which keeps the file format independent of
+        the weighting formula.
+        """
+        from ..utils.serialization import save_npz
+
+        self._require_finalized()
+        pairs = sorted(self._counts.items())
+        save_npz(
+            path,
+            {
+                "firsts": np.array([first for (first, _), _ in pairs], dtype=np.str_),
+                "seconds": np.array([second for (_, second), _ in pairs], dtype=np.str_),
+                "counts": np.array([count for _, count in pairs], dtype=np.int64),
+                "min_cooccurrence": np.array([self.min_cooccurrence], dtype=np.int64),
+            },
+        )
+
+    @classmethod
+    def load(cls, path) -> "EntityProximityGraph":
+        """Load and finalise a graph saved with :meth:`save`."""
+        from ..utils.serialization import load_npz
+
+        data = load_npz(path)
+        counts = {
+            (str(first), str(second)): int(count)
+            for first, second, count in zip(
+                data["firsts"].tolist(), data["seconds"].tolist(), data["counts"].tolist()
+            )
+        }
+        return cls.from_counts(counts, min_cooccurrence=int(data["min_cooccurrence"][0]))
+
     def to_networkx(self):
         """Export the graph to a :class:`networkx.Graph` (weights preserved)."""
         self._require_finalized()

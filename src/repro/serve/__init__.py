@@ -1,0 +1,35 @@
+"""Batch inference subsystem: serve a trained model behind a batching API.
+
+Per-bag prediction (``model.predict_probabilities`` in a loop) spends most of
+its time in per-call numpy overhead on tiny arrays.  This package merges many
+bags into one padded batch, runs the sentence encoder once over all sentences
+and evaluates the bag-level heads vectorized, which multiplies serving
+throughput (see ``benchmarks/test_bench_serve.py``) while returning the exact
+same distributions as the per-bag path.
+
+* :mod:`repro.serve.batching` — merge encoded bags into one "superbag";
+* :mod:`repro.serve.batched_forward` — vectorized forward pass;
+* :mod:`repro.serve.service` — :class:`PredictionService`, the user-facing
+  request/response API.
+"""
+
+from .batched_forward import batched_predict_probabilities
+from .batching import MergedBagBatch, merge_encoded_bags
+from .service import (
+    PredictionRequest,
+    PredictionResult,
+    PredictionService,
+    RelationPrediction,
+    ServiceStats,
+)
+
+__all__ = [
+    "PredictionService",
+    "PredictionRequest",
+    "PredictionResult",
+    "RelationPrediction",
+    "ServiceStats",
+    "merge_encoded_bags",
+    "MergedBagBatch",
+    "batched_predict_probabilities",
+]

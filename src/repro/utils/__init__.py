@@ -1,5 +1,6 @@
-"""Shared utilities: seeding, logging, serialization and progress reporting."""
+"""Shared utilities: seeding, logging, serialization, caching and tables."""
 
+from .artifacts import ArtifactCache, CacheStats, content_key, default_cache_dir
 from .rng import SeedSequenceFactory, new_rng, spawn_rngs
 from .serialization import load_json, load_npz, save_json, save_npz
 from .logging import get_logger
@@ -15,4 +16,8 @@ __all__ = [
     "load_json",
     "get_logger",
     "format_table",
+    "ArtifactCache",
+    "CacheStats",
+    "content_key",
+    "default_cache_dir",
 ]

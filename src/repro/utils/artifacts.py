@@ -1,0 +1,215 @@
+"""Content-addressed artifact cache for expensive pipeline stages.
+
+Building an experiment context repeats three costly stages every run: the
+entity proximity graph, the LINE entity embeddings and the encoded train/test
+corpora.  All three are pure functions of their configuration (dataset,
+profile, seed, stage hyper-parameters), so they can be computed once and
+shared — across repeated :mod:`repro.experiments` runs and with the
+:mod:`repro.serve` prediction service.
+
+:class:`ArtifactCache` stores each artifact under a key derived from the
+SHA-256 hash of the canonical JSON encoding of its configuration.  Any change
+to the configuration changes the hash and therefore transparently invalidates
+the cached file; corrupt or truncated files are detected at load time, logged
+and rebuilt.  The hash only sees the key payload, not the code that builds
+the artifact — callers whose build semantics may evolve should fold a format
+version into the payload (the pipeline does:
+:data:`repro.experiments.pipeline.PIPELINE_CACHE_VERSION`).
+
+Example
+-------
+::
+
+    cache = ArtifactCache("~/.cache/repro")
+    embeddings = cache.get_or_build(
+        kind="line_embeddings",
+        key={"dataset": "nyt", "seed": 0, "dim": 64},
+        build=lambda: train_entity_embeddings(graph, config),
+        save=lambda value, path: value.save(path),
+        load=EntityEmbeddings.load,
+    )
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping, Optional, TypeVar, Union
+
+from .logging import get_logger
+
+logger = get_logger("utils.artifacts")
+
+PathLike = Union[str, Path]
+T = TypeVar("T")
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The cache root used when none is given explicitly.
+
+    ``$REPRO_CACHE_DIR`` wins if set; otherwise ``~/.cache/repro``.
+    """
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a key payload to JSON-encodable canonical form."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _canonical(dataclasses.asdict(value))
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def content_key(payload: Any) -> str:
+    """Deterministic hex digest of an arbitrary configuration payload.
+
+    Dataclasses and nested mappings/sequences are canonicalised (sorted keys,
+    JSON encoding) before hashing, so logically equal configurations always
+    map to the same key regardless of dict ordering.
+    """
+    canonical = json.dumps(_canonical(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how the cache behaved during this process."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "corrupt": self.corrupt}
+
+
+@dataclass
+class ArtifactCache:
+    """On-disk cache of expensive artifacts, keyed by configuration hash.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the cache.  Artifacts are stored as
+        ``<root>/<kind>/<key>.<suffix>`` so different artifact kinds never
+        collide even if their configurations hash identically.
+    enabled:
+        When ``False`` every lookup is a miss and nothing is written; this
+        lets callers keep a single code path whether or not caching is on.
+    """
+
+    root: PathLike = field(default_factory=default_cache_dir)
+    enabled: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root).expanduser()
+
+    # ------------------------------------------------------------------ #
+    # Paths and keys
+    # ------------------------------------------------------------------ #
+    def path_for(self, kind: str, key: Any, suffix: str = "npz") -> Path:
+        """The on-disk location of an artifact (whether or not it exists)."""
+        digest = key if isinstance(key, str) and len(key) == 20 else content_key(key)
+        return self.root / kind / f"{digest}.{suffix}"
+
+    def has(self, kind: str, key: Any, suffix: str = "npz") -> bool:
+        """Whether an artifact for this configuration is already cached."""
+        return self.enabled and self.path_for(kind, key, suffix).exists()
+
+    # ------------------------------------------------------------------ #
+    # The one entry point
+    # ------------------------------------------------------------------ #
+    def get_or_build(
+        self,
+        kind: str,
+        key: Any,
+        build: Callable[[], T],
+        save: Callable[[T, Path], None],
+        load: Callable[[Path], T],
+        suffix: str = "npz",
+    ) -> T:
+        """Return the cached artifact, or build, persist and return it.
+
+        ``load`` failures of any type (truncated file, wrong format, version
+        drift) are treated as a corrupt entry: the file is deleted, the
+        incident is logged and the artifact is rebuilt from scratch — the
+        cache never turns a recoverable situation into an error.
+        """
+        if not self.enabled:
+            self.stats.misses += 1
+            return build()
+
+        path = self.path_for(kind, key, suffix)
+        if path.exists():
+            try:
+                value = load(path)
+                self.stats.hits += 1
+                logger.info("cache hit: %s (%s)", kind, path.name)
+                return value
+            except Exception as error:  # noqa: BLE001 - any load failure means corrupt
+                self.stats.corrupt += 1
+                logger.warning(
+                    "cache entry %s/%s is corrupt (%s); rebuilding", kind, path.name, error
+                )
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+        self.stats.misses += 1
+        logger.info("cache miss: %s; building", kind)
+        value = build()
+        self._atomic_save(value, path, save)
+        return value
+
+    def _atomic_save(self, value: T, path: Path, save: Callable[[T, Path], None]) -> None:
+        """Write through a temporary file so readers never see partial data."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        try:
+            save(value, tmp)
+            if tmp.exists():
+                written = tmp
+            else:
+                # Savers built on np.save/np.savez append their own extension.
+                candidates = sorted(tmp.parent.glob(tmp.name + ".*"))
+                if len(candidates) != 1:
+                    raise FileNotFoundError(f"saver produced no file for {tmp}")
+                written = candidates[0]
+            os.replace(written, path)
+        except Exception:
+            for candidate in [tmp, *tmp.parent.glob(tmp.name + ".*")]:
+                if candidate.exists():
+                    candidate.unlink()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def clear(self, kind: Optional[str] = None) -> int:
+        """Delete cached artifacts (all of them, or one ``kind``); returns count."""
+        base = self.root if kind is None else self.root / kind
+        if not base.exists():
+            return 0
+        removed = 0
+        for file in sorted(base.rglob("*")):
+            if file.is_file():
+                file.unlink()
+                removed += 1
+        return removed

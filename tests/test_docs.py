@@ -1,0 +1,70 @@
+"""Documentation checks: the docs exist, stay consistent, and their examples run."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPTS = REPO_ROOT / "scripts"
+
+sys.path.insert(0, str(SCRIPTS))
+from smoke_docs import extract_python_blocks  # noqa: E402
+
+
+class TestDocsPresence:
+    def test_documentation_suite_exists(self):
+        assert (REPO_ROOT / "README.md").exists()
+        assert (REPO_ROOT / "docs" / "architecture.md").exists()
+        assert (REPO_ROOT / "docs" / "serving.md").exists()
+        assert (SCRIPTS / "smoke_docs.py").exists()
+
+    def test_readme_indexes_every_experiment_module(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        experiments_dir = REPO_ROOT / "src" / "repro" / "experiments"
+        skip = {"__init__", "pipeline", "runner"}
+        for module in sorted(experiments_dir.glob("*.py")):
+            if module.stem in skip:
+                continue
+            assert f"repro.experiments.{module.stem}" in readme, (
+                f"README's table/figure index is missing repro.experiments.{module.stem}"
+            )
+
+    def test_readme_indexes_every_benchmark(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        for bench in sorted((REPO_ROOT / "benchmarks").glob("test_bench_*.py")):
+            assert bench.name in readme, (
+                f"README's table/figure index is missing benchmarks/{bench.name}"
+            )
+
+
+class TestCodeBlockExtraction:
+    def test_python_blocks_found(self):
+        blocks = extract_python_blocks(
+            "intro\n```python\nx = 1\n```\n```text\nnot code\n```\n"
+            "```python no-smoke\nraise SystemExit\n```\n"
+        )
+        assert blocks == ["x = 1\n"]
+
+    def test_every_document_has_executable_blocks(self):
+        for name in ("README.md", "docs/architecture.md", "docs/serving.md"):
+            text = (REPO_ROOT / name).read_text(encoding="utf-8")
+            assert extract_python_blocks(text), f"{name} has no executable python blocks"
+
+
+@pytest.mark.slow
+class TestDocsExamplesRun:
+    def test_smoke_docs_passes(self):
+        result = subprocess.run(
+            [sys.executable, str(SCRIPTS / "smoke_docs.py")],
+            capture_output=True,
+            text=True,
+            timeout=900,
+            check=False,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "executed successfully" in result.stdout
