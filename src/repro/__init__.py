@@ -13,6 +13,8 @@ The package is organised as:
 * :mod:`repro.training`, :mod:`repro.eval` — training loop and held-out
   evaluation;
 * :mod:`repro.experiments` — one module per table/figure of the paper;
+* :mod:`repro.batch` — shared padded-batch layer: one vectorized forward for
+  training (autograd-capable) and serving;
 * :mod:`repro.serve` — batched inference service over a trained model;
 * :mod:`repro.utils` — logging, rng, serialization and the artifact cache
   shared by the experiments and the serving layer.
@@ -21,7 +23,7 @@ See ``README.md`` for the module map and the paper table/figure index, and
 ``docs/`` for the architecture and serving guides.
 """
 
-from . import nn, serve
+from . import batch, nn, serve
 from .config import (
     ExperimentConfig,
     GraphEmbeddingConfig,
@@ -61,6 +63,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "nn",
+    "batch",
     "ModelConfig",
     "TrainingConfig",
     "GraphEmbeddingConfig",

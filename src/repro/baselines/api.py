@@ -16,6 +16,9 @@ from ..config import TrainingConfig
 from ..corpus.bags import EncodedBag
 from ..exceptions import ModelError
 from ..training.trainer import Trainer, TrainingResult
+from ..utils.logging import get_logger
+
+logger = get_logger("baselines")
 
 
 class RelationExtractionMethod(ABC):
@@ -82,6 +85,14 @@ class NeuralMethod(RelationExtractionMethod):
             rng=self._rng,
         )
         self.training_result = trainer.fit(train_bags)
+        if self.training_result.diverged:
+            # Evaluating a diverged model silently would publish metrics the
+            # trainer itself declared untrustworthy; make it loud.
+            logger.warning(
+                "training of '%s' diverged after %d epoch(s); downstream "
+                "evaluation uses the parameters from the last finite step",
+                self.name, self.training_result.epochs_run,
+            )
         self._fitted = True
         return self
 

@@ -1,0 +1,33 @@
+"""Shared padded-batch layer: one vectorized forward for training *and* serving.
+
+Per-bag execution (``model(bag, label)`` in a loop during training,
+``model.predict_probabilities`` in a loop at serving time) spends most of its
+time in per-call numpy overhead on tiny arrays.  This package merges many
+bags into one padded "superbag" and runs the expensive sentence encoding once
+over all sentences, then evaluates the bag-level stages vectorized:
+
+* :mod:`repro.batch.merging` — merge encoded bags into one padded batch;
+* :mod:`repro.batch.training` — autograd-capable training forward
+  (:func:`batched_train_logits`), used by :class:`repro.training.Trainer`
+  for one forward/backward per mini-batch with per-bag-identical losses and
+  gradients (``benchmarks/test_bench_train.py``);
+* :mod:`repro.batch.inference` — gradient-free serving forward
+  (:func:`batched_predict_probabilities`), used by
+  :class:`repro.serve.PredictionService`
+  (``benchmarks/test_bench_serve.py``).
+
+The :mod:`repro.serve` package re-exports the inference half for backward
+compatibility.
+"""
+
+from .inference import batched_predict_probabilities
+from .merging import MergedBagBatch, merge_encoded_bags
+from .training import batched_train_logits, supports_batched_training
+
+__all__ = [
+    "MergedBagBatch",
+    "merge_encoded_bags",
+    "batched_predict_probabilities",
+    "batched_train_logits",
+    "supports_batched_training",
+]

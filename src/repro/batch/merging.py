@@ -1,0 +1,176 @@
+"""Merging many encoded bags into one padded "superbag".
+
+The sentence encoders (:mod:`repro.encoders`) treat a bag's sentences as a
+batch dimension, so the sentences of *many* bags can be concatenated into a
+single :class:`~repro.corpus.bags.EncodedBag` and encoded in one vectorized
+pass — the foundation of both the batched serving path
+(:mod:`repro.batch.inference`) and the batched training path
+(:mod:`repro.batch.training`).  Padding is safe by construction:
+
+* padding tokens use word id 0 (a zero word vector), position id 0 and
+  segment id -1, exactly as in per-bag encoding, so convolution outputs at
+  valid positions are unchanged;
+* the boolean mask freezes GRU hidden states across padding steps, so
+  recurrent encoders produce the same states regardless of padding length;
+* piecewise/max pooling ignore positions whose segment id is -1 / mask is
+  False.
+
+:class:`MergedBagBatch` keeps the per-bag sentence offsets so downstream
+aggregation can slice the merged sentence representations back into bags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..corpus.bags import EncodedBag
+from ..encoders.cnn import _convolution_mask
+from ..exceptions import DataError, ModelError
+
+
+@dataclass
+class MergedBagBatch:
+    """A batch of bags merged along the sentence axis.
+
+    ``merged`` is a synthetic :class:`EncodedBag` holding the concatenated,
+    right-padded sentence arrays of every bag; its bag-level fields (label,
+    entity ids, type ids) are placeholders and must not be consumed.
+    ``offsets`` has length ``num_bags + 1``: bag ``i``'s sentences occupy
+    rows ``offsets[i]:offsets[i + 1]`` of the merged arrays.
+    """
+
+    merged: EncodedBag
+    offsets: np.ndarray
+    bags: List[EncodedBag]
+
+    @property
+    def num_bags(self) -> int:
+        return len(self.bags)
+
+    @property
+    def num_sentences(self) -> int:
+        return int(self.offsets[-1])
+
+    @property
+    def sentence_counts(self) -> np.ndarray:
+        """Number of sentences per bag, shape ``(num_bags,)``."""
+        return np.diff(self.offsets)
+
+    @property
+    def bag_widths(self) -> np.ndarray:
+        """Each sentence row's own bag width, shape ``(num_sentences,)``.
+
+        Columns at or beyond a row's bag width do not exist in the per-bag
+        arrays; both the inference and the training forward zero them out.
+        """
+        return np.repeat(
+            np.array([bag.max_length for bag in self.bags], dtype=np.int64),
+            self.sentence_counts,
+        )
+
+
+def merge_encoded_bags(bags: Sequence[EncodedBag]) -> MergedBagBatch:
+    """Concatenate the sentence arrays of many bags into one padded batch.
+
+    Every sentence matrix is right-padded to the longest sentence length in
+    the batch with the same padding values the :class:`BagEncoder` uses
+    (token 0, position 0, segment -1, mask False), which preserves per-bag
+    encoder outputs exactly (see the module docstring).
+    """
+    if not bags:
+        raise DataError("cannot merge an empty sequence of bags")
+
+    counts = np.array([bag.num_sentences for bag in bags], dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    total = int(offsets[-1])
+    max_len = max(bag.max_length for bag in bags)
+
+    token_ids = np.zeros((total, max_len), dtype=np.int64)
+    head_pos = np.zeros((total, max_len), dtype=np.int64)
+    tail_pos = np.zeros((total, max_len), dtype=np.int64)
+    segments = np.full((total, max_len), -1, dtype=np.int64)
+    mask = np.zeros((total, max_len), dtype=bool)
+
+    for i, bag in enumerate(bags):
+        start, end = offsets[i], offsets[i + 1]
+        length = bag.max_length
+        token_ids[start:end, :length] = bag.token_ids
+        head_pos[start:end, :length] = bag.head_position_ids
+        tail_pos[start:end, :length] = bag.tail_position_ids
+        segments[start:end, :length] = bag.segment_ids
+        mask[start:end, :length] = bag.mask
+
+    merged = EncodedBag(
+        token_ids=token_ids,
+        head_position_ids=head_pos,
+        tail_position_ids=tail_pos,
+        segment_ids=segments,
+        mask=mask,
+        label=-1,
+        relation_ids=(0,),
+        head_entity_id=-1,
+        tail_entity_id=-1,
+        head_type_ids=np.array([0], dtype=np.int64),
+        tail_type_ids=np.array([0], dtype=np.int64),
+    )
+    return MergedBagBatch(merged=merged, offsets=offsets, bags=list(bags))
+
+
+def padded_slot_plan(batch: MergedBagBatch):
+    """Coordinates scattering the flat sentence axis into padded (bag, slot) arrays.
+
+    Returns ``(bag_of_row, slot_of_row, slot_mask)``: flat sentence row ``j``
+    lands at ``[bag_of_row[j], slot_of_row[j]]`` of a
+    ``(num_bags, max_sentences)`` padded array, and ``slot_mask`` marks the
+    real slots.  Both the training and the inference forward derive their
+    padded attention layout from this one plan so they can never disagree.
+    """
+    counts = batch.sentence_counts
+    bag_of_row = np.repeat(np.arange(batch.num_bags), counts)
+    slot_of_row = np.arange(batch.num_sentences) - np.repeat(batch.offsets[:-1], counts)
+    slot_mask = np.arange(int(counts.max()))[None, :] < counts[:, None]
+    return bag_of_row, slot_of_row, slot_mask
+
+
+def cnn_pooling_mask(
+    batch: MergedBagBatch,
+    widths: np.ndarray,
+    out_length: int,
+    window_size: int,
+    padding: int,
+) -> np.ndarray:
+    """Valid plain-CNN pooling positions per merged sentence row.
+
+    Marks convolution outputs whose window overlaps a real token, restricted
+    to each row's own bag's convolution-output length: the wider merged batch
+    introduces positions that do not exist in the per-bag path and must not
+    win the max pooling.  Shared by the batched training and inference
+    forwards so the two can never disagree on encoder outputs.
+    """
+    mask = _convolution_mask(batch.merged.mask, out_length, window_size, padding)
+    per_bag_out = widths + (out_length - batch.merged.max_length)
+    mask &= np.arange(out_length)[None, :] < per_bag_out[:, None]
+    return mask
+
+
+def mutual_relation_matrix(mr_head, bags: Sequence[EncodedBag]) -> np.ndarray:
+    """``MR = U_tail - U_head`` rows for a batch of bags: ``(num_bags, dim)``.
+
+    Entity id -1 marks an entity unknown to the knowledge base; such entities
+    use a zero vector, matching the per-bag head's fallback.  A pure function
+    of bag metadata and the head's *frozen* entity table (no gradients flow
+    here), shared by the batched training and inference forwards.
+    """
+    table = mr_head._entity_vectors
+    heads = np.array([bag.head_entity_id for bag in bags], dtype=np.int64)
+    tails = np.array([bag.tail_entity_id for bag in bags], dtype=np.int64)
+    if heads.max() >= len(table) or tails.max() >= len(table):
+        raise ModelError("entity id out of range for the mutual-relation table")
+    if heads.min() < -1 or tails.min() < -1:
+        raise ModelError("entity ids must be >= -1 (-1 marks an unknown entity)")
+    head_vectors = np.where((heads >= 0)[:, None], table[heads], 0.0)
+    tail_vectors = np.where((tails >= 0)[:, None], table[tails], 0.0)
+    return tail_vectors - head_vectors

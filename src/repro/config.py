@@ -129,6 +129,11 @@ class TrainingConfig:
     shuffle: bool = True
     log_every: int = 0                   # batches between log lines; 0 disables
     seed: int = 0
+    # One vectorized forward/backward per padded mini-batch (repro.batch)
+    # instead of a per-bag python loop; same losses and gradients to float64
+    # round-off, several times faster per epoch.  Models the batched layer
+    # does not understand fall back to the per-bag loop automatically.
+    batched_training: bool = True
 
     def validate(self) -> None:
         if self.epochs <= 0:
@@ -192,6 +197,7 @@ class ScaleProfile:
     model_scale: float = 0.25
     learning_rate: float = 0.01
     optimizer: str = "adam"
+    batched_training: bool = True        # vectorized padded-batch training loop
 
     @classmethod
     def tiny(cls) -> "ScaleProfile":
@@ -247,6 +253,7 @@ class ScaleProfile:
             optimizer=self.optimizer,
             learning_rate=self.learning_rate,
             seed=seed,
+            batched_training=self.batched_training,
         )
         config.batch_size = max(8, min(32, self.model_config().batch_size))
         return config

@@ -193,6 +193,14 @@ class BatchIterator:
         if batch_size <= 0:
             raise DataError("batch_size must be positive")
         self.encoded_bags = list(encoded_bags)
+        if drop_last and len(self.encoded_bags) < batch_size:
+            # Silently yielding zero batches produces an "empty" epoch whose
+            # mean loss is NaN far downstream; fail where the mistake is.
+            raise DataError(
+                f"drop_last=True with {len(self.encoded_bags)} bags and "
+                f"batch_size={batch_size} would yield zero batches; lower the "
+                "batch size or disable drop_last"
+            )
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.drop_last = drop_last

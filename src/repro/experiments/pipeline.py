@@ -18,6 +18,11 @@ Steps 2-3 are pure functions of (dataset, profile, seed, stage config), so
 explicitly, or install a process-wide default with :func:`set_default_cache`
 (what ``python -m repro.experiments.runner --cache-dir ...`` does) so every
 experiment and the serving layer share one set of artifacts.
+
+Step 4 trains with the vectorized padded-batch engine (:mod:`repro.batch`)
+by default — one forward/backward per mini-batch, identical results to the
+per-bag loop.  Opt out per context via ``ScaleProfile.batched_training=False``
+(``--per-bag-training`` on the CLI runner).
 """
 
 from __future__ import annotations

@@ -66,6 +66,12 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--profile", default="small", choices=sorted(PROFILES))
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--per-bag-training",
+        action="store_true",
+        help="train with the legacy per-bag loop instead of the vectorized "
+        "padded-batch forward (repro.batch); same results, slower epochs",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         help="directory for the artifact cache; graph/LINE/encoded-corpus "
@@ -76,6 +82,8 @@ def main(argv: Optional[list] = None) -> int:
     cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
     previous_cache = set_default_cache(cache)
     profile = PROFILES[args.profile]()
+    if args.per_bag_training:
+        profile.batched_training = False
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     try:
         for name in names:

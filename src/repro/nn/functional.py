@@ -87,11 +87,16 @@ def cross_entropy(logits: Tensor, targets: np.ndarray, weight: Optional[np.ndarr
         weight = np.asarray(weight, dtype=logits.dtype)
         sample_weight = weight[targets]
     total_weight = sample_weight.sum()
-    loss_value = -(picked * sample_weight).sum() / total_weight
+    # A batch whose samples all carry zero weight (e.g. only NA bags with the
+    # NA class weighted to zero) must produce a zero loss with zero gradients
+    # that still participates in the graph — dividing by the zero total would
+    # poison the loss and every parameter gradient with NaN.
+    denom = total_weight if total_weight > 0 else 1.0
+    loss_value = -(picked * sample_weight).sum() / denom if total_weight > 0 else 0.0
 
     def backward(grad: np.ndarray) -> None:
         g = np.zeros_like(log_probs.data)
-        g[np.arange(n), targets] = -sample_weight / total_weight
+        g[np.arange(n), targets] = -sample_weight / denom
         log_probs._accumulate(g * grad)
 
     return Tensor._make(np.asarray(loss_value), (log_probs,), backward)
@@ -148,6 +153,26 @@ def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
         weight._accumulate(full)
 
     return Tensor._make(out_data, (weight,), backward)
+
+
+def gather_rows(x: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``x`` along axis 0 for an integer index array of any shape.
+
+    The padded-batch layer (:mod:`repro.batch`) uses this to scatter a flat
+    ragged axis (all sentences of all bags) into ``(bag, slot)`` padded
+    arrays, and to expand per-bag values to per-sentence rows.  Unlike
+    :func:`embedding_lookup` the source may have any rank (including 1-D
+    score vectors); duplicate indices accumulate their gradients.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = x.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(x.data)
+        np.add.at(full, indices.reshape(-1), grad.reshape((indices.size,) + x.shape[1:]))
+        x._accumulate(full)
+
+    return Tensor._make(out_data, (x,), backward)
 
 
 # ---------------------------------------------------------------------- #

@@ -7,14 +7,17 @@ and evaluates the bag-level heads vectorized, which multiplies serving
 throughput (see ``benchmarks/test_bench_serve.py``) while returning the exact
 same distributions as the per-bag path.
 
-* :mod:`repro.serve.batching` — merge encoded bags into one "superbag";
-* :mod:`repro.serve.batched_forward` — vectorized forward pass;
+The padded-batch machinery itself lives in the shared layer :mod:`repro.batch`
+(training uses its autograd-capable sibling); this package re-exports the
+serving half and adds the request/response API:
+
+* :mod:`repro.batch.merging` — merge encoded bags into one "superbag";
+* :mod:`repro.batch.inference` — vectorized serving forward pass;
 * :mod:`repro.serve.service` — :class:`PredictionService`, the user-facing
   request/response API.
 """
 
-from .batched_forward import batched_predict_probabilities
-from .batching import MergedBagBatch, merge_encoded_bags
+from ..batch import MergedBagBatch, batched_predict_probabilities, merge_encoded_bags
 from .service import (
     PredictionRequest,
     PredictionResult,

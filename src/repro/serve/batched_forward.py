@@ -1,264 +1,11 @@
-"""Vectorized inference over many bags at once.
+"""Vectorized serving forward (moved to :mod:`repro.batch.inference`).
 
-The training path of :class:`repro.core.NeuralREModel` is define-by-run and
-per-bag; for serving we only need the forward values, so this module runs the
-expensive sentence encoding once over a merged batch (reusing the exact
-autograd ops for parity) and then evaluates the cheap bag-level stages —
-selective attention, entity-type head, mutual-relation head, confidence
-combination — with plain numpy on the model's parameters.
-
-Numerical parity with ``model.predict_probabilities`` per bag is guaranteed
-by construction (same ops, same float64 dtype) and enforced by
-``tests/test_serve.py``.
+The padded-batch forward became the shared layer used by both training and
+serving; this module remains as a stable import location for serving code
+and re-exports the inference entry point unchanged.
 """
 
-from __future__ import annotations
+from ..batch.inference import batched_predict_probabilities
+from ..batch.merging import MergedBagBatch, merge_encoded_bags
 
-from typing import Optional, Sequence
-
-import numpy as np
-
-from ..core.model import NeuralREModel
-from ..corpus.bags import EncodedBag
-from ..encoders.attention import AverageBagAggregator, SelectiveAttentionAggregator
-from ..encoders.cnn import CNNEncoder, _convolution_mask
-from ..encoders.pcnn import NUM_SEGMENTS, PCNNEncoder, _align_segments
-from ..exceptions import ModelError
-from .batching import MergedBagBatch, merge_encoded_bags
-
-
-def batched_predict_probabilities(
-    model: NeuralREModel, bags: Sequence[EncodedBag]
-) -> np.ndarray:
-    """Relation probability distributions for many bags in one pass.
-
-    Returns an array of shape ``(num_bags, num_relations)`` equal (up to
-    floating-point round-off) to stacking ``model.predict_probabilities(bag)``
-    over ``bags``.
-    """
-    if not bags:
-        return np.zeros((0, model.num_relations))
-    was_training = model.training
-    if was_training:
-        model.eval()
-    try:
-        batch = merge_encoded_bags(bags)
-        reprs = _merged_sentence_representations(model, batch)
-        re_logits = _batched_aggregator_logits(model.base_model.aggregator, reprs, batch)
-        type_logits = (
-            _batched_type_logits(model.type_head, bags)
-            if model.type_head is not None
-            else None
-        )
-        mr_logits = (
-            _batched_mutual_relation_logits(model.mutual_relation_head, bags)
-            if model.mutual_relation_head is not None
-            else None
-        )
-        combined = _batched_combined_logits(model, re_logits, type_logits, mr_logits)
-        return _row_softmax(combined)
-    finally:
-        if was_training:
-            model.train(True)
-
-
-def _merged_sentence_representations(
-    model: NeuralREModel, batch: MergedBagBatch
-) -> np.ndarray:
-    """Encode every sentence of the merged batch: ``(total_sentences, dim)``.
-
-    Runs the same embedder/encoder modules as the per-bag path (dropout is an
-    identity in eval mode).  One correction keeps the outputs bitwise-faithful
-    to per-bag encoding: a bag's arrays are only as wide as its own longest
-    sentence, so positions beyond that width are *true zeros* there (the
-    convolution's zero padding), while the merged batch fills them with
-    embedded pad tokens whose position embeddings are non-zero.  Zeroing the
-    embedded columns beyond each bag's own width restores per-bag semantics.
-    """
-    base = model.base_model
-    embedded = base.embedder(batch.merged)
-    widths = np.repeat(
-        np.array([bag.max_length for bag in batch.bags]), batch.sentence_counts
-    )
-    beyond_bag_width = np.arange(embedded.shape[1])[None, :] >= widths[:, None]
-    embedded.data[beyond_bag_width] = 0.0
-    if isinstance(base.encoder, PCNNEncoder):
-        return _pcnn_representations(base.encoder, embedded, batch)
-    if isinstance(base.encoder, CNNEncoder):
-        return _cnn_representations(base.encoder, embedded, batch, widths)
-    return base.encoder(embedded, batch.merged).data
-
-
-def _pcnn_representations(
-    encoder: PCNNEncoder, embedded, batch: MergedBagBatch
-) -> np.ndarray:
-    """PCNN forward with gradient-free piecewise pooling.
-
-    The segment masks already exclude everything beyond each bag's own width
-    (padding segments are -1), so only the pooling is reimplemented — as a
-    plain masked max, which equals the autograd op's argmax/gather for any
-    segment with at least one valid position and 0 otherwise.
-    """
-    convolved = encoder.conv(embedded).data
-    out_length = convolved.shape[1]
-    segments = _align_segments(batch.merged.segment_ids, out_length, encoder.conv.padding)
-    parts = []
-    for seg in range(NUM_SEGMENTS):
-        seg_mask = segments == seg
-        masked = np.where(seg_mask[:, :, None], convolved, -np.inf)
-        pooled = masked.max(axis=1)
-        parts.append(np.where(seg_mask.any(axis=1)[:, None], pooled, 0.0))
-    return np.tanh(np.concatenate(parts, axis=1))
-
-
-def _cnn_representations(
-    encoder: CNNEncoder, embedded, batch: MergedBagBatch, widths: np.ndarray
-) -> np.ndarray:
-    """CNN encoder forward restricted to each bag's own output length.
-
-    The plain CNN pools over every convolution position whose window overlaps
-    a real token; per bag that output is only ``bag_width`` positions long,
-    so the merged pass must exclude the extra positions the wider batch
-    introduces (they do not exist in the per-bag path).
-    """
-    convolved = encoder.conv(embedded).data
-    out_length = convolved.shape[1]
-    mask = _convolution_mask(
-        batch.merged.mask, out_length, encoder.window_size, encoder.conv.padding
-    )
-    per_bag_out = widths + (out_length - batch.merged.max_length)
-    mask &= np.arange(out_length)[None, :] < per_bag_out[:, None]
-    pooled = np.where(mask[:, :, None], convolved, -np.inf).max(axis=1)
-    pooled = np.where(mask.any(axis=1)[:, None], pooled, 0.0)
-    return np.tanh(pooled)
-
-
-def _batched_aggregator_logits(
-    aggregator, reprs: np.ndarray, batch: MergedBagBatch
-) -> np.ndarray:
-    if isinstance(aggregator, SelectiveAttentionAggregator):
-        return _selective_attention_logits(aggregator, reprs, batch)
-    if isinstance(aggregator, AverageBagAggregator):
-        return _average_pool_logits(aggregator, reprs, batch)
-    raise ModelError(
-        f"batched inference does not support aggregator {type(aggregator).__name__}"
-    )
-
-
-def _selective_attention_logits(
-    aggregator: SelectiveAttentionAggregator, reprs: np.ndarray, batch: MergedBagBatch
-) -> np.ndarray:
-    """Vectorized form of ``SelectiveAttentionAggregator.predict_logits``.
-
-    At prediction time every relation attends over the bag's sentences with
-    its own query; padded sentence slots get a score of ``-inf`` so they drop
-    out of the per-bag softmax.
-    """
-    queries = aggregator.relation_queries.data          # (R, d)
-    diag = aggregator.attention_diag.data               # (d,)
-    weight = aggregator.classifier.weight.data          # (R, d)
-    bias = aggregator.classifier.bias.data if aggregator.classifier.bias is not None else 0.0
-
-    scores = (reprs * diag) @ queries.T                 # (N, R)
-    num_bags = batch.num_bags
-    counts = batch.sentence_counts
-    max_sentences = int(counts.max())
-    num_relations = queries.shape[0]
-    dim = reprs.shape[1]
-
-    # Scatter the flat sentence axis into (bag, slot) padded arrays.
-    bag_of_row = np.repeat(np.arange(num_bags), counts)
-    slot_of_row = np.arange(batch.num_sentences) - np.repeat(batch.offsets[:-1], counts)
-    padded_scores = np.full((num_bags, max_sentences, num_relations), -np.inf)
-    padded_reprs = np.zeros((num_bags, max_sentences, dim))
-    padded_scores[bag_of_row, slot_of_row] = scores
-    padded_reprs[bag_of_row, slot_of_row] = reprs
-
-    # Per-bag softmax over the sentence axis (empty slots contribute exp(-inf)=0).
-    shifted = padded_scores - padded_scores.max(axis=1, keepdims=True)
-    exp = np.exp(shifted)
-    alphas = exp / exp.sum(axis=1, keepdims=True)       # (B, S, R)
-
-    bag_per_relation = np.matmul(alphas.transpose(0, 2, 1), padded_reprs)  # (B, R, d)
-    # Relation r is scored against its own attended representation, so only
-    # the diagonal of the full (R, R) classifier product is needed.
-    logits = np.einsum("brd,rd->br", bag_per_relation, weight)
-    return logits + (bias if np.isscalar(bias) else bias[None, :])
-
-
-def _average_pool_logits(
-    aggregator: AverageBagAggregator, reprs: np.ndarray, batch: MergedBagBatch
-) -> np.ndarray:
-    """Vectorized average pooling + classification."""
-    sums = np.add.reduceat(reprs, batch.offsets[:-1], axis=0)
-    means = sums / batch.sentence_counts[:, None]
-    weight = aggregator.classifier.weight.data
-    bias = aggregator.classifier.bias.data if aggregator.classifier.bias is not None else 0.0
-    return means @ weight.T + bias
-
-
-def _batched_type_logits(type_head, bags: Sequence[EncodedBag]) -> np.ndarray:
-    """Vectorized :class:`EntityTypeHead` forward over a batch of bags."""
-    table = type_head.type_embedding.weight.data
-    pair = np.concatenate(
-        [_mean_type_vectors(table, [bag.head_type_ids for bag in bags]),
-         _mean_type_vectors(table, [bag.tail_type_ids for bag in bags])],
-        axis=1,
-    )
-    weight = type_head.classifier.weight.data
-    bias = type_head.classifier.bias.data if type_head.classifier.bias is not None else 0.0
-    return pair @ weight.T + bias
-
-
-def _mean_type_vectors(table: np.ndarray, id_lists: Sequence[np.ndarray]) -> np.ndarray:
-    """Per-bag mean of type-embedding rows, vectorized over the batch."""
-    counts = np.array([len(ids) for ids in id_lists], dtype=np.int64)
-    flat = np.concatenate(id_lists)
-    offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
-    sums = np.add.reduceat(table[flat], offsets, axis=0)
-    return sums / counts[:, None]
-
-
-def _batched_mutual_relation_logits(mr_head, bags: Sequence[EncodedBag]) -> np.ndarray:
-    """Vectorized :class:`MutualRelationHead` forward over a batch of bags.
-
-    Entity id -1 marks an entity unknown to the knowledge base; such entities
-    use a zero vector, matching the per-bag head's fallback.
-    """
-    table = mr_head._entity_vectors
-    heads = np.array([bag.head_entity_id for bag in bags], dtype=np.int64)
-    tails = np.array([bag.tail_entity_id for bag in bags], dtype=np.int64)
-    if heads.max() >= len(table) or tails.max() >= len(table):
-        raise ModelError("entity id out of range for the mutual-relation table")
-    if heads.min() < -1 or tails.min() < -1:
-        raise ModelError("entity ids must be >= -1 (-1 marks an unknown entity)")
-    head_vectors = np.where((heads >= 0)[:, None], table[heads], 0.0)
-    tail_vectors = np.where((tails >= 0)[:, None], table[tails], 0.0)
-    mr = tail_vectors - head_vectors
-    weight = mr_head.classifier.weight.data
-    bias = mr_head.classifier.bias.data if mr_head.classifier.bias is not None else 0.0
-    return mr @ weight.T + bias
-
-
-def _batched_combined_logits(
-    model: NeuralREModel,
-    re_logits: np.ndarray,
-    type_logits: Optional[np.ndarray],
-    mr_logits: Optional[np.ndarray],
-) -> np.ndarray:
-    """Vectorized :class:`ConfidenceCombiner` forward (rows are bags)."""
-    combiner = model.combiner
-    if not combiner.use_types and not combiner.use_mutual_relations:
-        return re_logits
-    combined = _row_softmax(re_logits) * combiner.gamma.data
-    if combiner.use_types:
-        combined = combined + _row_softmax(type_logits) * combiner.beta.data
-    if combiner.use_mutual_relations:
-        combined = combined + _row_softmax(mr_logits) * combiner.alpha.data
-    return combined * combiner.scale.data + combiner.bias.data
-
-
-def _row_softmax(logits: np.ndarray) -> np.ndarray:
-    shifted = logits - logits.max(axis=-1, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / exp.sum(axis=-1, keepdims=True)
+__all__ = ["batched_predict_probabilities", "MergedBagBatch", "merge_encoded_bags"]

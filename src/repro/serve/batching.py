@@ -1,104 +1,10 @@
-"""Merging many encoded bags into one padded "superbag".
+"""Bag merging for the serving path (moved to :mod:`repro.batch.merging`).
 
-The sentence encoders (:mod:`repro.encoders`) treat a bag's sentences as a
-batch dimension, so the sentences of *many* bags can be concatenated into a
-single :class:`~repro.corpus.bags.EncodedBag` and encoded in one vectorized
-pass.  Padding is safe by construction:
-
-* padding tokens use word id 0 (a zero word vector), position id 0 and
-  segment id -1, exactly as in per-bag encoding, so convolution outputs at
-  valid positions are unchanged;
-* the boolean mask freezes GRU hidden states across padding steps, so
-  recurrent encoders produce the same states regardless of padding length;
-* piecewise/max pooling ignore positions whose segment id is -1 / mask is
-  False.
-
-:class:`MergedBagBatch` keeps the per-bag sentence offsets so downstream
-aggregation can slice the merged sentence representations back into bags.
+The padded-batch machinery became shared between training and serving; this
+module remains as a stable import location for serving code and re-exports
+the shared implementation unchanged.
 """
 
-from __future__ import annotations
+from ..batch.merging import MergedBagBatch, merge_encoded_bags
 
-from dataclasses import dataclass
-from typing import List, Sequence
-
-import numpy as np
-
-from ..corpus.bags import EncodedBag
-from ..exceptions import DataError
-
-
-@dataclass
-class MergedBagBatch:
-    """A batch of bags merged along the sentence axis.
-
-    ``merged`` is a synthetic :class:`EncodedBag` holding the concatenated,
-    right-padded sentence arrays of every bag; its bag-level fields (label,
-    entity ids, type ids) are placeholders and must not be consumed.
-    ``offsets`` has length ``num_bags + 1``: bag ``i``'s sentences occupy
-    rows ``offsets[i]:offsets[i + 1]`` of the merged arrays.
-    """
-
-    merged: EncodedBag
-    offsets: np.ndarray
-    bags: List[EncodedBag]
-
-    @property
-    def num_bags(self) -> int:
-        return len(self.bags)
-
-    @property
-    def num_sentences(self) -> int:
-        return int(self.offsets[-1])
-
-    @property
-    def sentence_counts(self) -> np.ndarray:
-        """Number of sentences per bag, shape ``(num_bags,)``."""
-        return np.diff(self.offsets)
-
-
-def merge_encoded_bags(bags: Sequence[EncodedBag]) -> MergedBagBatch:
-    """Concatenate the sentence arrays of many bags into one padded batch.
-
-    Every sentence matrix is right-padded to the longest sentence length in
-    the batch with the same padding values the :class:`BagEncoder` uses
-    (token 0, position 0, segment -1, mask False), which preserves per-bag
-    encoder outputs exactly (see the module docstring).
-    """
-    if not bags:
-        raise DataError("cannot merge an empty sequence of bags")
-
-    counts = np.array([bag.num_sentences for bag in bags], dtype=np.int64)
-    offsets = np.concatenate([[0], np.cumsum(counts)])
-    total = int(offsets[-1])
-    max_len = max(bag.max_length for bag in bags)
-
-    token_ids = np.zeros((total, max_len), dtype=np.int64)
-    head_pos = np.zeros((total, max_len), dtype=np.int64)
-    tail_pos = np.zeros((total, max_len), dtype=np.int64)
-    segments = np.full((total, max_len), -1, dtype=np.int64)
-    mask = np.zeros((total, max_len), dtype=bool)
-
-    for i, bag in enumerate(bags):
-        start, end = offsets[i], offsets[i + 1]
-        length = bag.max_length
-        token_ids[start:end, :length] = bag.token_ids
-        head_pos[start:end, :length] = bag.head_position_ids
-        tail_pos[start:end, :length] = bag.tail_position_ids
-        segments[start:end, :length] = bag.segment_ids
-        mask[start:end, :length] = bag.mask
-
-    merged = EncodedBag(
-        token_ids=token_ids,
-        head_position_ids=head_pos,
-        tail_position_ids=tail_pos,
-        segment_ids=segments,
-        mask=mask,
-        label=-1,
-        relation_ids=(0,),
-        head_entity_id=-1,
-        tail_entity_id=-1,
-        head_type_ids=np.array([0], dtype=np.int64),
-        tail_type_ids=np.array([0], dtype=np.int64),
-    )
-    return MergedBagBatch(merged=merged, offsets=offsets, bags=list(bags))
+__all__ = ["MergedBagBatch", "merge_encoded_bags"]

@@ -4,8 +4,8 @@
 owns a trained :class:`~repro.core.NeuralREModel`, a reusable
 :class:`~repro.corpus.loader.BagEncoder` and the knowledge-base / schema
 metadata needed to turn incoming ``(head, tail, sentences)`` requests into
-encoded bags, run a vectorized forward pass over a whole batch
-(:mod:`repro.serve.batched_forward`), and return the top-k relations with
+encoded bags, run a vectorized forward pass over a whole batch (the shared
+padded-batch layer, :mod:`repro.batch`), and return the top-k relations with
 confidences.
 
 See ``docs/serving.md`` for the full API walk-through and
@@ -27,9 +27,9 @@ from ..corpus.loader import BagEncoder
 from ..exceptions import DataError
 from ..kb.knowledge_base import KnowledgeBase
 from ..kb.schema import RelationSchema
+from ..batch import batched_predict_probabilities
 from ..text.tokenizer import simple_tokenize
 from ..utils.logging import get_logger
-from .batched_forward import batched_predict_probabilities
 
 logger = get_logger("serve")
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional
 
 
@@ -45,6 +46,11 @@ class EarlyStopping:
 
     def should_stop(self, epoch_loss: float) -> bool:
         """Update the tracker with the latest epoch loss; True when out of patience."""
+        if not math.isfinite(epoch_loss):
+            # A NaN loss compares False against every threshold, so without
+            # this guard a diverged run would merely count as "not improving"
+            # and burn the whole patience/epoch budget.
+            return True
         if epoch_loss < self.best_loss - self.min_delta:
             self.best_loss = epoch_loss
             self.bad_epochs = 0

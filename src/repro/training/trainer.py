@@ -3,6 +3,13 @@
 Training follows the paper's protocol: mini-batches of bags, selective
 attention guided by the gold relation, cross-entropy on the combined logits
 with the dominant NA class down-weighted, SGD with gradient clipping.
+
+Each mini-batch runs as ONE vectorized forward/backward over a padded batch
+(:mod:`repro.batch`) whenever the model supports it — same losses and
+gradients as the per-bag loop to float64 round-off, several times faster per
+epoch (``benchmarks/test_bench_train.py``).  Models the batched layer does
+not understand, and configs with ``batched_training=False``, use the per-bag
+loop.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from .. import nn
+from ..batch import batched_train_logits, supports_batched_training
 from ..config import TrainingConfig
 from ..corpus.bags import EncodedBag
 from ..corpus.loader import BatchIterator
@@ -32,6 +40,9 @@ class TrainingResult:
     batch_losses: List[float] = field(default_factory=list)
     epoch_losses: List[float] = field(default_factory=list)
     stopped_early: bool = False
+    # True when training was aborted because a batch loss went non-finite
+    # (NaN/inf); the model parameters are not trustworthy in that case.
+    diverged: bool = False
 
     @property
     def final_loss(self) -> float:
@@ -55,6 +66,7 @@ class Trainer:
         self._rng = rng or np.random.default_rng(self.config.seed)
         self._optimizer = self._build_optimizer()
         self._class_weights = self._build_class_weights()
+        self._batched = self.config.batched_training and supports_batched_training(model)
 
     # ------------------------------------------------------------------ #
     # Setup
@@ -86,19 +98,34 @@ class Trainer:
     # Training
     # ------------------------------------------------------------------ #
     def train_batch(self, batch: Sequence[EncodedBag]) -> float:
-        """One optimisation step over a batch of bags; returns the batch loss."""
+        """One optimisation step over a batch of bags; returns the batch loss.
+
+        With ``config.batched_training`` (the default) and a supported model
+        the whole batch is one vectorized forward/backward over a padded
+        batch; otherwise each bag builds its own graph and the logits are
+        stacked.  Both paths yield the same loss and gradients to float64
+        round-off (``tests/test_batch_training.py``).
+        """
         if not batch:
             raise ConfigurationError("empty batch")
-        logits = [self.model(bag, bag.label) for bag in batch]
-        stacked = nn.stack(logits, axis=0)
+        if self._batched:
+            stacked = batched_train_logits(self.model, batch)
+        else:
+            stacked = nn.stack([self.model(bag, bag.label) for bag in batch], axis=0)
         labels = np.array([bag.label for bag in batch], dtype=np.int64)
         loss = F.cross_entropy(stacked, labels, weight=self._class_weights)
+        loss_value = float(loss.data)
+        if not np.isfinite(loss_value):
+            # Skip the update: back-propagating a NaN loss would poison every
+            # parameter and the optimizer state, while returning it lets
+            # fit() abort with the last finite parameters intact.
+            return loss_value
         self._optimizer.zero_grad()
         loss.backward()
         if self.config.grad_clip is not None:
             self._optimizer.clip_grad_norm(self.config.grad_clip)
         self._optimizer.step()
-        return float(loss.data)
+        return loss_value
 
     def fit(
         self,
@@ -111,6 +138,7 @@ class Trainer:
         history = LossHistory()
         self.model.train()
         stopped_early = False
+        diverged = False
         epochs_run = 0
         for epoch in range(self.config.epochs):
             iterator = BatchIterator(
@@ -122,6 +150,15 @@ class Trainer:
             for batch_index, batch in enumerate(iterator):
                 loss = self.train_batch(batch)
                 history.record_batch(loss)
+                if not np.isfinite(loss):
+                    # A NaN/inf loss never recovers; burning the remaining
+                    # epoch budget on it only wastes time and hides the bug.
+                    diverged = True
+                    logger.warning(
+                        "non-finite loss %s at epoch %d batch %d; stopping training",
+                        loss, epoch + 1, batch_index + 1,
+                    )
+                    break
                 if self.config.log_every and (batch_index + 1) % self.config.log_every == 0:
                     logger.info(
                         "epoch %d batch %d loss %.4f", epoch + 1, batch_index + 1, loss
@@ -129,6 +166,8 @@ class Trainer:
             epoch_loss = history.end_epoch()
             epochs_run = epoch + 1
             logger.debug("epoch %d mean loss %.4f", epoch + 1, epoch_loss)
+            if diverged:
+                break
             if early_stopping is not None and early_stopping.should_stop(epoch_loss):
                 stopped_early = True
                 break
@@ -138,4 +177,5 @@ class Trainer:
             batch_losses=history.batch_losses,
             epoch_losses=history.epoch_losses,
             stopped_early=stopped_early,
+            diverged=diverged,
         )

@@ -86,6 +86,27 @@ class TestLosses:
         )
         assert skewed > 0  # dominated by the mis-classified weighted class
 
+    def test_cross_entropy_all_zero_weight_batch_is_zero_not_nan(self):
+        # Regression: a batch of only NA samples with the NA class weighted to
+        # zero used to divide by total_weight == 0, poisoning the loss and
+        # every gradient with NaN.
+        logits = Tensor(np.array([[2.0, -1.0], [0.5, 0.3]]), requires_grad=True)
+        targets = np.array([0, 0])
+        loss = F.cross_entropy(logits, targets, weight=np.array([0.0, 1.0]))
+        assert float(loss.data) == 0.0
+        loss.backward()
+        np.testing.assert_array_equal(logits.grad, np.zeros_like(logits.data))
+
+    def test_cross_entropy_partial_zero_weights_still_finite(self):
+        logits = Tensor(np.array([[2.0, -1.0], [0.5, 0.3]]), requires_grad=True)
+        loss = F.cross_entropy(logits, np.array([0, 1]), weight=np.array([0.0, 1.0]))
+        loss.backward()
+        assert np.isfinite(float(loss.data))
+        assert np.isfinite(logits.grad).all()
+        # The zero-weight sample contributes neither loss nor gradient.
+        np.testing.assert_array_equal(logits.grad[0], [0.0, 0.0])
+        assert np.abs(logits.grad[1]).max() > 0
+
     def test_cross_entropy_gradient_numeric(self, gradcheck):
         rng = np.random.default_rng(4)
         logits = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
@@ -136,6 +157,35 @@ class TestEmbeddingAndDropout:
         out = F.embedding_lookup(weight, np.array([1, 1, 2]))
         out.sum().backward()
         np.testing.assert_allclose(weight.grad, [[0, 0], [2, 2], [1, 1]])
+
+    def test_gather_rows_values_and_shapes(self):
+        x = Tensor(np.arange(8.0).reshape(4, 2))
+        out = F.gather_rows(x, np.array([[3, 0], [1, 1]]))
+        assert out.shape == (2, 2, 2)
+        np.testing.assert_allclose(out.data[0, 0], [6.0, 7.0])
+        # 1-D sources (e.g. attention score vectors) are supported too.
+        scores = Tensor(np.array([10.0, 20.0, 30.0]))
+        np.testing.assert_allclose(F.gather_rows(scores, np.array([[2, 0]])).data, [[30.0, 10.0]])
+
+    def test_gather_rows_gradient_accumulates_duplicates(self):
+        x = Tensor(np.zeros((3, 2)), requires_grad=True)
+        out = F.gather_rows(x, np.array([[1, 1], [2, 0]]))
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [[1, 1], [2, 2], [1, 1]])
+
+    def test_gather_rows_gradient_numeric(self, gradcheck):
+        rng = np.random.default_rng(5)
+        x = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        indices = np.array([[0, 2, 2], [3, 1, 0]])
+
+        def loss():
+            x.grad = None
+            return (F.gather_rows(x, indices) * F.gather_rows(x, indices)).sum()
+
+        loss().backward()
+        analytic = x.grad.copy()
+        numeric = gradcheck(lambda: float(loss().data), x.data)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-8)
 
     def test_dropout_eval_is_identity(self):
         x = Tensor(np.ones((5, 5)))

@@ -261,6 +261,17 @@ class TestBatchIterator:
         with pytest.raises(DataError):
             BatchIterator([], batch_size=0)
 
+    def test_drop_last_with_too_few_bags_rejected(self, nyt_bundle):
+        # Regression: fewer bags than batch_size with drop_last=True used to
+        # silently yield zero batches (an "empty" epoch with a NaN mean loss
+        # downstream) instead of failing where the mistake is.
+        encoder = BagEncoder(nyt_bundle.vocabulary)
+        encoded = encoder.encode_all(nyt_bundle.train.bags[:3])
+        with pytest.raises(DataError):
+            BatchIterator(encoded, batch_size=5, drop_last=True)
+        # Exactly batch_size bags is fine.
+        assert len(list(BatchIterator(encoded, batch_size=3, drop_last=True))) == 1
+
 
 class TestDatasetContainer:
     def test_relation_counts_sum_to_bags(self, nyt_bundle):

@@ -64,6 +64,45 @@ class TestTrainer:
         assert result.stopped_early
         assert result.epochs_run < 50
 
+    def test_diverged_run_stops_immediately(self, nyt_context, small_model, monkeypatch):
+        """A non-finite batch loss must abort training, not burn the epoch budget."""
+        config = TrainingConfig(epochs=50, batch_size=16, learning_rate=0.01, optimizer="adam")
+        trainer = Trainer(small_model, nyt_context.num_relations, config)
+        losses = iter([0.5, float("nan")])
+        monkeypatch.setattr(trainer, "train_batch", lambda batch: next(losses))
+        result = trainer.fit(nyt_context.train_encoded[:40])
+        assert result.diverged
+        assert result.epochs_run == 1
+        assert len(result.batch_losses) == 2
+
+    def test_non_finite_loss_skips_the_update(self, nyt_context):
+        """A NaN loss must not push NaN gradients into the parameters."""
+        from repro import nn
+
+        class NaNLossModel(nn.Module):
+            def __init__(self, num_relations):
+                super().__init__()
+                self.weights = nn.Parameter(np.zeros(num_relations))
+
+            def forward(self, bag, relation_id=None):
+                return self.weights + float("nan")
+
+        model = NaNLossModel(nyt_context.num_relations)
+        config = TrainingConfig(epochs=3, batch_size=8, learning_rate=0.01, optimizer="adam")
+        trainer = Trainer(model, nyt_context.num_relations, config)
+        result = trainer.fit(nyt_context.train_encoded[:16])
+        assert result.diverged
+        assert result.epochs_run == 1
+        # The parameters from before the bad batch survive untouched.
+        assert np.isfinite(model.weights.data).all()
+
+    def test_finite_run_is_not_flagged_diverged(self, nyt_context, small_model):
+        config = TrainingConfig(epochs=1, batch_size=16, learning_rate=0.01, optimizer="adam")
+        result = Trainer(small_model, nyt_context.num_relations, config).fit(
+            nyt_context.train_encoded[:20]
+        )
+        assert not result.diverged
+
 
 class TestCallbacks:
     def test_loss_history_epoch_means(self):
@@ -87,6 +126,13 @@ class TestCallbacks:
     def test_early_stopping_validation(self):
         with pytest.raises(ValueError):
             EarlyStopping(patience=0)
+
+    def test_early_stopping_halts_on_non_finite_loss(self):
+        # Regression: nan < best - delta is False, so NaN used to count as
+        # just another bad epoch and training ran its full budget.
+        for bad in (float("nan"), float("inf")):
+            stopper = EarlyStopping(patience=5)
+            assert stopper.should_stop(bad)
 
 
 class TestTrainingConfig:
