@@ -6,7 +6,8 @@ The package is organised as:
 * :mod:`repro.nn` — numpy autograd / neural-network substrate;
 * :mod:`repro.kb`, :mod:`repro.corpus`, :mod:`repro.text` — synthetic
   knowledge base, distant-supervision corpora and text utilities;
-* :mod:`repro.graph` — entity proximity graph + LINE entity embeddings;
+* :mod:`repro.graph` — array-native graph engine: CSR entity proximity
+  graph, LINE entity embeddings and graph propagation;
 * :mod:`repro.encoders`, :mod:`repro.core` — sentence encoders and the
   paper's PA-T / PA-MR / PA-TMR models;
 * :mod:`repro.baselines` — every compared method;

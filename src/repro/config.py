@@ -158,6 +158,10 @@ class GraphEmbeddingConfig:
     epochs: int = 30                      # passes over the edge set (edge sampling)
     batch_edges: int = 256
     min_cooccurrence: int = 1             # threshold to create a proximity edge
+    # Graph-propagation refinement of the LINE embeddings (APPNP-style CSR
+    # smoothing over the proximity graph); 0 layers keeps raw LINE output.
+    propagation_layers: int = 0
+    propagation_alpha: float = 0.5        # residual weight on the original vectors
     seed: int = 0
 
     def validate(self) -> None:
@@ -173,6 +177,10 @@ class GraphEmbeddingConfig:
             raise ConfigurationError("batch_edges must be positive")
         if self.min_cooccurrence < 1:
             raise ConfigurationError("min_cooccurrence must be >= 1")
+        if self.propagation_layers < 0:
+            raise ConfigurationError("propagation_layers must be >= 0 (0 disables)")
+        if not 0.0 <= self.propagation_alpha <= 1.0:
+            raise ConfigurationError("propagation_alpha must be in [0, 1]")
 
 
 @dataclass
@@ -198,6 +206,11 @@ class ScaleProfile:
     learning_rate: float = 0.01
     optimizer: str = "adam"
     batched_training: bool = True        # vectorized padded-batch training loop
+    # Graph-propagation refinement of the entity embeddings (0 = off, the
+    # raw-LINE behaviour); forwarded into GraphEmbeddingConfig by
+    # ExperimentConfig.for_profile and settable via the runner CLI.
+    propagation_layers: int = 0
+    propagation_alpha: float = 0.5
 
     @classmethod
     def tiny(cls) -> "ScaleProfile":
@@ -278,7 +291,12 @@ class ExperimentConfig:
     def for_profile(cls, profile: ScaleProfile, seed: int = 0) -> "ExperimentConfig":
         """Build a consistent configuration for a scale profile."""
         model = profile.model_config()
-        graph = GraphEmbeddingConfig(embedding_dim=model.entity_embedding_dim, seed=seed)
+        graph = GraphEmbeddingConfig(
+            embedding_dim=model.entity_embedding_dim,
+            propagation_layers=profile.propagation_layers,
+            propagation_alpha=profile.propagation_alpha,
+            seed=seed,
+        )
         return cls(
             profile=profile,
             model=model,

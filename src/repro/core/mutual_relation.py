@@ -41,8 +41,8 @@ def build_entity_vector_table(kb: KnowledgeBase, embeddings: EntityEmbeddings) -
     the paper's future-work section attributes to low-degree vertices.
     """
     table = np.zeros((kb.num_entities, embeddings.dim))
-    for entity in kb.entities:
-        table[entity.entity_id] = embeddings.vector(entity.name)
+    entity_ids = [entity.entity_id for entity in kb.entities]
+    table[entity_ids] = embeddings.vectors_for([entity.name for entity in kb.entities])
     return table
 
 

@@ -39,6 +39,10 @@ class DatasetBundle:
     vocabulary: Vocabulary
     unlabeled_sentences: List[UnlabeledSentence] = field(default_factory=list)
     pair_cooccurrence: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    # Array-native view of pair_cooccurrence: (firsts, seconds, counts), the
+    # form EntityProximityGraph.from_pair_arrays ingests without any dict
+    # round-trip.  Kept in sync by _build_bundle.
+    pair_arrays: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     def cooccurrence_for_pair(self, head_name: str, tail_name: str) -> int:
         """Unlabeled-corpus co-occurrence count of an entity pair (0 if absent)."""
@@ -93,7 +97,11 @@ def _build_bundle(
         seed=int(seeds.rng("unlabeled").integers(2 ** 31)),
     )
     unlabeled_sentences = unlabeled_generator.generate()
-    cooccurrence = UnlabeledCorpusGenerator.cooccurrence_counts(unlabeled_sentences)
+    pair_arrays = UnlabeledCorpusGenerator.cooccurrence_pair_arrays(unlabeled_sentences)
+    cooccurrence = {
+        (str(first), str(second)): int(count)
+        for first, second, count in zip(*pair_arrays)
+    }
 
     return DatasetBundle(
         name=name,
@@ -104,6 +112,7 @@ def _build_bundle(
         vocabulary=vocabulary,
         unlabeled_sentences=unlabeled_sentences,
         pair_cooccurrence=cooccurrence,
+        pair_arrays=pair_arrays,
     )
 
 

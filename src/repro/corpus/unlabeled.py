@@ -23,6 +23,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..kb.knowledge_base import KnowledgeBase
+from ..utils.arrays import factorize_names
 from .templates import TemplateLibrary
 
 
@@ -151,6 +152,38 @@ class UnlabeledCorpusGenerator:
         return sentences
 
     @staticmethod
+    def cooccurrence_pair_arrays(
+        sentences: Sequence[UnlabeledSentence],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Aggregate pair co-occurrences into (firsts, seconds, counts) arrays.
+
+        This is the array-native emission the proximity graph ingests via
+        :meth:`repro.graph.EntityProximityGraph.add_pair_arrays`: self-pairs
+        are dropped, each pair is oriented alphabetically, and duplicates are
+        aggregated with one ``np.unique`` pass over pair ids instead of one
+        dict update per sentence.  Pairs come out sorted by name.
+        """
+        empty = np.empty(0, dtype=np.str_)
+        if not sentences:
+            return empty, empty.copy(), np.empty(0, dtype=np.int64)
+        firsts = np.array([s.first_entity for s in sentences], dtype=np.str_)
+        seconds = np.array([s.second_entity for s in sentences], dtype=np.str_)
+        distinct = firsts != seconds
+        firsts, seconds = firsts[distinct], seconds[distinct]
+        if firsts.size == 0:
+            return empty, empty.copy(), np.empty(0, dtype=np.int64)
+        names, ids = factorize_names(np.concatenate([firsts, seconds]))
+        lo = np.minimum(ids[: firsts.size], ids[firsts.size:])
+        hi = np.maximum(ids[: firsts.size], ids[firsts.size:])
+        keys = lo * np.int64(names.size) + hi
+        unique_keys, counts = np.unique(keys, return_counts=True)
+        return (
+            names[unique_keys // names.size],
+            names[unique_keys % names.size],
+            counts.astype(np.int64),
+        )
+
+    @staticmethod
     def cooccurrence_counts(
         sentences: Sequence[UnlabeledSentence],
     ) -> Dict[Tuple[str, str], int]:
@@ -158,12 +191,14 @@ class UnlabeledCorpusGenerator:
 
         The pair key is sorted alphabetically so (a, b) and (b, a) accumulate
         into the same entry, matching how the paper counts co-occurrence in
-        Wikipedia sentences.
+        Wikipedia sentences.  Aggregation is vectorised (see
+        :meth:`cooccurrence_pair_arrays`); only the final dict view is built
+        pair-by-pair.
         """
-        counts: Dict[Tuple[str, str], int] = defaultdict(int)
-        for sentence in sentences:
-            if sentence.first_entity == sentence.second_entity:
-                continue
-            key = tuple(sorted((sentence.first_entity, sentence.second_entity)))
-            counts[key] += 1
-        return dict(counts)
+        firsts, seconds, counts = UnlabeledCorpusGenerator.cooccurrence_pair_arrays(
+            sentences
+        )
+        return {
+            (str(first), str(second)): int(count)
+            for first, second, count in zip(firsts, seconds, counts)
+        }

@@ -42,6 +42,7 @@ from ..eval.heldout import EvaluationResult, HeldOutEvaluator
 from ..exceptions import ConfigurationError
 from ..graph.embeddings import EntityEmbeddings, train_entity_embeddings
 from ..graph.line import LineConfig
+from ..graph.propagation import propagate_embeddings
 from ..graph.proximity import EntityProximityGraph
 from ..utils.artifacts import ArtifactCache, PathLike
 from ..utils.logging import get_logger
@@ -60,7 +61,9 @@ _default_cache: Optional[ArtifactCache] = None
 # stage changes meaning (encoder semantics, graph weighting, file layout in a
 # backward-readable way) — configuration changes invalidate through the key
 # hash automatically, code changes only through this constant.
-PIPELINE_CACHE_VERSION = 1
+# Version 2: array-native graph engine — id-encoded proximity-graph files,
+# chunked LINE sampling (new RNG stream) and the optional propagation stage.
+PIPELINE_CACHE_VERSION = 2
 
 
 def set_default_cache(cache: Optional[ArtifactCache]) -> Optional[ArtifactCache]:
@@ -132,12 +135,20 @@ def prepare_context(
     proximity graph, the LINE entity embeddings and the encoded train/test
     corpora are loaded from it when their configuration hash matches and
     persisted after being built otherwise.
+
+    When the profile requests ``propagation_layers > 0``, the LINE vectors
+    are additionally smoothed over the proximity graph
+    (:func:`repro.graph.propagate_embeddings`) before any consumer sees
+    them; the propagated embeddings are cached under their own key.
     """
     dataset = dataset.lower()
     if dataset not in DATASET_BUILDERS:
         raise ConfigurationError(f"unknown dataset '{dataset}' (expected 'nyt' or 'gds')")
     profile = profile or ScaleProfile.small()
     config = ExperimentConfig.for_profile(profile, seed=seed)
+    # Fail fast on out-of-range knobs (e.g. a mistyped --propagation-alpha)
+    # before any expensive stage runs.
+    config.validate()
     if cache is None:
         cache = ArtifactCache(cache_dir) if cache_dir is not None else _default_cache
     if cache is None:
@@ -149,9 +160,15 @@ def prepare_context(
     bundle = DATASET_BUILDERS[dataset](profile, seed=seed)
 
     logger.info("building proximity graph from %d unlabeled sentences", len(bundle.unlabeled_sentences))
+    profile_key = asdict(profile)
+    # The propagation knobs only shape the propagated_embeddings stage; keep
+    # them out of the shared stage key so toggling propagation reuses the
+    # graph / LINE / encoded-corpus artifacts.
+    profile_key.pop("propagation_layers", None)
+    profile_key.pop("propagation_alpha", None)
     stage_key = {
         "dataset": dataset,
-        "profile": asdict(profile),
+        "profile": profile_key,
         "seed": seed,
         "format": PIPELINE_CACHE_VERSION,
     }
@@ -164,23 +181,57 @@ def prepare_context(
         batch_edges=config.graph.batch_edges,
         seed=seed,
     )
+    def _build_graph() -> EntityProximityGraph:
+        # Prefer the bundle's array-native pair view (no dict round-trip);
+        # ad-hoc bundles without one fall back to the counts mapping.
+        if bundle.pair_arrays is not None:
+            return EntityProximityGraph.from_pair_arrays(
+                *bundle.pair_arrays, min_cooccurrence=config.graph.min_cooccurrence
+            )
+        return EntityProximityGraph.from_counts(
+            bundle.pair_cooccurrence, min_cooccurrence=config.graph.min_cooccurrence
+        )
+
     graph = cache.get_or_build(
         "proximity_graph",
         graph_key,
-        build=lambda: EntityProximityGraph.from_counts(
-            bundle.pair_cooccurrence, min_cooccurrence=config.graph.min_cooccurrence
-        ),
+        build=_build_graph,
         save=lambda value, path: value.save(path),
         load=EntityProximityGraph.load,
     )
     # The embeddings depend on the graph, so their key includes the graph key.
+    line_key = {**graph_key, "line": asdict(line_config)}
     embeddings = cache.get_or_build(
         "line_embeddings",
-        {**graph_key, "line": asdict(line_config)},
+        line_key,
         build=lambda: train_entity_embeddings(graph, line_config),
         save=lambda value, path: value.save(path),
         load=EntityEmbeddings.load,
     )
+    if config.graph.propagation_layers > 0:
+        # Optional refinement stage: APPNP-style smoothing of the LINE
+        # vectors over the proximity graph (CSR matvec).  Cached separately —
+        # its key extends the LINE key, so toggling the knob never clashes
+        # with the raw embeddings artifact.
+        line_embeddings = embeddings
+        embeddings = cache.get_or_build(
+            "propagated_embeddings",
+            {
+                **line_key,
+                "propagation": {
+                    "layers": config.graph.propagation_layers,
+                    "alpha": config.graph.propagation_alpha,
+                },
+            },
+            build=lambda: propagate_embeddings(
+                graph,
+                line_embeddings,
+                num_layers=config.graph.propagation_layers,
+                alpha=config.graph.propagation_alpha,
+            ),
+            save=lambda value, path: value.save(path),
+            load=EntityEmbeddings.load,
+        )
 
     encoder = BagEncoder(
         bundle.vocabulary,

@@ -77,6 +77,20 @@ def main(argv: Optional[list] = None) -> int:
         help="directory for the artifact cache; graph/LINE/encoded-corpus "
         "artifacts are reused across runs when set",
     )
+    parser.add_argument(
+        "--propagation-layers",
+        type=int,
+        default=None,
+        help="smooth the LINE entity embeddings over the proximity graph "
+        "with this many propagation layers (0 = off, the default)",
+    )
+    parser.add_argument(
+        "--propagation-alpha",
+        type=float,
+        default=None,
+        help="residual weight on the original LINE vectors in each "
+        "propagation layer (only meaningful with --propagation-layers > 0)",
+    )
     args = parser.parse_args(argv)
 
     cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
@@ -84,6 +98,10 @@ def main(argv: Optional[list] = None) -> int:
     profile = PROFILES[args.profile]()
     if args.per_bag_training:
         profile.batched_training = False
+    if args.propagation_layers is not None:
+        profile.propagation_layers = args.propagation_layers
+    if args.propagation_alpha is not None:
+        profile.propagation_alpha = args.propagation_alpha
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     try:
         for name in names:

@@ -5,9 +5,16 @@ weighted entity proximity graph from unlabeled-corpus co-occurrences and
 embedding its vertices with first- and second-order proximity objectives
 (Tang et al., LINE, 2015) so that implicit mutual relations between entity
 pairs are preserved as vector differences.
+
+The whole stage is integer-indexed and array-native: the graph stores its
+adjacency in CSR form, the alias tables build vectorised in O(n), LINE
+pre-draws its edge/negative samples in chunks, and propagation runs as a
+sparse matvec.  :mod:`repro.graph.reference` keeps the seed-era dict/dense
+implementations as the executable specification the parity tests check
+against.
 """
 
-from .alias import AliasSampler
+from .alias import AliasSampler, build_alias_tables
 from .proximity import EntityProximityGraph
 from .line import LineEmbeddingTrainer, LineConfig
 from .embeddings import EntityEmbeddings, train_entity_embeddings
@@ -15,6 +22,7 @@ from .propagation import propagate_embeddings
 
 __all__ = [
     "AliasSampler",
+    "build_alias_tables",
     "EntityProximityGraph",
     "LineConfig",
     "LineEmbeddingTrainer",

@@ -3,13 +3,83 @@
 LINE samples millions of edges proportionally to their weight and negative
 vertices proportionally to degree^0.75; the alias method (Walker, 1977) makes
 both draws constant-time after linear-time preprocessing.
+
+The table build is vectorised: instead of popping one (small, large) pair per
+Python-loop iteration, each round matches every under-full bucket to an
+over-full bucket with a prefix-sum + ``searchsorted`` sweep, so the work is
+O(n) array operations overall.  The resulting ``prob``/``alias`` tables can
+differ from the sequential Vose construction in which bucket aliases which —
+any valid pairing does — but the sampled distribution is identical: bucket
+``i``'s total mass ``prob[i] + sum(1 - prob[j] for alias[j] == i)`` always
+equals ``n * p_i``.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
+
+
+def build_alias_tables(weights: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised O(n) alias-table construction.
+
+    Returns ``(prob, alias)``: a draw picks a uniform bucket ``b`` and
+    returns ``b`` with probability ``prob[b]``, else ``alias[b]``.
+
+    Buckets start with mass ``p_i * n`` (so the mean is 1).  Each round pairs
+    the current under-full buckets with the over-full ones: cumulative
+    deficits are matched against cumulative surpluses with ``searchsorted``,
+    which lets one over-full bucket absorb many under-full buckets in a
+    single vectorised step (and vice versa, an over-full bucket that drops
+    under 1 joins the next round's under-full side).  Every under-full bucket
+    is finalised exactly once, so total work is linear in ``n`` up to the
+    (typically tiny) number of cascade rounds.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1 or weights.size == 0:
+        raise ValueError("weights must be a non-empty 1-D sequence")
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    n = weights.size
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("at least one weight must be positive")
+    prob = weights * (n / total)
+    alias = np.arange(n, dtype=np.int64)
+
+    under = np.flatnonzero(prob < 1.0)
+    over = np.flatnonzero(prob >= 1.0)
+    while under.size and over.size:
+        deficits = 1.0 - prob[under]
+        surplus_cum = np.cumsum(prob[over] - 1.0)
+        if surplus_cum[-1] <= 0.0:
+            # No surplus left to distribute: the remaining deficits are float
+            # round-off; the leftover normalisation below handles them.
+            break
+        # Cumulative deficit *before* each under-full bucket decides which
+        # over-full bucket covers it: the first one whose cumulative surplus
+        # exceeds it.
+        deficit_before = np.concatenate(([0.0], np.cumsum(deficits)[:-1]))
+        assignment = np.searchsorted(surplus_cum, deficit_before, side="right")
+        matched = assignment < over.size
+        matched_under = under[matched]
+        donors = over[assignment[matched]]
+        alias[matched_under] = donors
+        # Debit every donor by the total deficit it absorbed this round.
+        absorbed = np.bincount(
+            assignment[matched], weights=deficits[matched], minlength=over.size
+        )
+        prob[over] -= absorbed
+        still_over = prob[over] >= 1.0
+        under = np.concatenate([under[~matched], over[~still_over]])
+        over = over[still_over]
+
+    # Whatever remains has probability (numerically) equal to 1.
+    leftovers = np.concatenate([under, over])
+    prob[leftovers] = 1.0
+    alias[leftovers] = leftovers
+    return prob, alias
 
 
 class AliasSampler:
@@ -17,37 +87,10 @@ class AliasSampler:
 
     def __init__(self, weights: Sequence[float]) -> None:
         weights = np.asarray(weights, dtype=np.float64)
-        if weights.ndim != 1 or weights.size == 0:
-            raise ValueError("weights must be a non-empty 1-D sequence")
-        if np.any(weights < 0):
-            raise ValueError("weights must be non-negative")
-        total = weights.sum()
-        if total <= 0:
-            raise ValueError("at least one weight must be positive")
-
-        n = weights.size
-        probabilities = weights * n / total
-        self._n = n
-        self._prob = np.zeros(n, dtype=np.float64)
-        self._alias = np.zeros(n, dtype=np.int64)
-
-        small = [i for i in range(n) if probabilities[i] < 1.0]
-        large = [i for i in range(n) if probabilities[i] >= 1.0]
-        probabilities = probabilities.copy()
-        while small and large:
-            small_index = small.pop()
-            large_index = large.pop()
-            self._prob[small_index] = probabilities[small_index]
-            self._alias[small_index] = large_index
-            probabilities[large_index] -= 1.0 - probabilities[small_index]
-            if probabilities[large_index] < 1.0:
-                small.append(large_index)
-            else:
-                large.append(large_index)
-        # Whatever remains has probability (numerically) equal to 1.
-        for index in large + small:
-            self._prob[index] = 1.0
-            self._alias[index] = index
+        # build_alias_tables validates (non-empty 1-D, non-negative, positive
+        # total) and raises ValueError before any table is built.
+        self._prob, self._alias = build_alias_tables(weights)
+        self._n = weights.size
 
     def __len__(self) -> int:
         return self._n

@@ -67,6 +67,43 @@ class EntityEmbeddings:
             return np.zeros(self.dim)
         return self.vectors[index]
 
+    def ids(self, names: Sequence[str]) -> np.ndarray:
+        """Row indices of ``names`` in :attr:`vectors` (-1 for unknown names)."""
+        index = self._index
+        return np.fromiter(
+            (index.get(name, -1) for name in names), dtype=np.int64, count=len(names)
+        )
+
+    def vectors_for(self, names: Sequence[str], strict: bool = False) -> np.ndarray:
+        """Embeddings for many names as one ``(len(names), dim)`` matrix.
+
+        Unknown names contribute zero rows (the same fallback as
+        :meth:`vector`); with ``strict=True`` a :class:`KeyError` naming the
+        first unknown entity is raised instead.  This is the bulk counterpart
+        of :meth:`vector` — consumers that previously looped names (graph
+        propagation, the entity-vector table of the mutual-relation head)
+        fetch their whole matrix in one call.
+        """
+        ids = self.ids(names)
+        missing = ids < 0
+        if missing.any():
+            if strict:
+                raise KeyError(
+                    f"entity '{names[int(np.flatnonzero(missing)[0])]}' has no embedding"
+                )
+            out = self.vectors[np.where(missing, 0, ids)].copy()
+            out[missing] = 0.0
+            return out
+        return self.vectors[ids]
+
+    def mutual_relations(
+        self, head_names: Sequence[str], tail_names: Sequence[str]
+    ) -> np.ndarray:
+        """Bulk :meth:`mutual_relation`: ``U_tail - U_head`` row per pair."""
+        if len(head_names) != len(tail_names):
+            raise GraphError("head_names and tail_names must have equal length")
+        return self.vectors_for(tail_names) - self.vectors_for(head_names)
+
     def mutual_relation(self, head_name: str, tail_name: str) -> np.ndarray:
         """Implicit mutual relation ``MR = U_tail - U_head`` of an entity pair.
 
@@ -124,14 +161,23 @@ class EntityEmbeddings:
         """
         query = self.mutual_relation(head_name, tail_name)
         query_norm = np.linalg.norm(query)
-        scored: List[Tuple[Tuple[str, str], float]] = []
-        for candidate in candidate_pairs:
-            if candidate == (head_name, tail_name):
-                continue
-            vector = self.mutual_relation(*candidate)
-            norm = np.linalg.norm(vector) * query_norm
-            score = float(vector @ query / norm) if norm > 0 else 0.0
-            scored.append((candidate, score))
+        candidates = [
+            tuple(candidate)
+            for candidate in candidate_pairs
+            if tuple(candidate) != (head_name, tail_name)
+        ]
+        if not candidates:
+            return []
+        relations = self.mutual_relations(
+            [head for head, _ in candidates], [tail for _, tail in candidates]
+        )
+        norms = np.linalg.norm(relations, axis=1) * query_norm
+        scores = np.divide(
+            relations @ query, norms, out=np.zeros(len(candidates)), where=norms > 0
+        )
+        scored = [
+            (candidate, float(score)) for candidate, score in zip(candidates, scores)
+        ]
         scored.sort(key=lambda item: -item[1])
         return scored[:k]
 

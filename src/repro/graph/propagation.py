@@ -16,6 +16,12 @@ the proximity graph and :math:`\\alpha` keeps a residual connection to the
 original vectors.  Low-degree entities inherit information from their
 neighbourhood while well-connected entities are barely changed, which is
 exactly the failure mode the paper wants to fix.
+
+The propagation operator is applied through the graph's CSR arrays — a
+sparse matvec with O(edges) work and memory per layer — so no dense n x n
+adjacency is ever materialised on the default path.  The dense
+:func:`normalized_adjacency` builder is kept as the executable reference the
+parity tests compare against.
 """
 
 from __future__ import annotations
@@ -33,8 +39,10 @@ def normalized_adjacency(graph: EntityProximityGraph) -> np.ndarray:
     """Symmetrically normalised weighted adjacency matrix of the graph.
 
     Returns ``D^{-1/2} (A + I) D^{-1/2}`` with self-loops added so isolated
-    rows stay well-defined; the matrix is dense, which is fine at the scale
-    of the synthetic corpora (a few hundred vertices).
+    rows stay well-defined.  The matrix is dense — O(n^2) memory — and only
+    serves small-graph analysis and the dense-vs-CSR parity tests;
+    :func:`propagate_embeddings` applies the same operator through the CSR
+    arrays without ever building it.
     """
     n = graph.num_vertices
     adjacency = np.zeros((n, n))
@@ -45,6 +53,24 @@ def normalized_adjacency(graph: EntityProximityGraph) -> np.ndarray:
     degrees = adjacency.sum(axis=1)
     inverse_sqrt = 1.0 / np.sqrt(degrees)
     return adjacency * inverse_sqrt[:, None] * inverse_sqrt[None, :]
+
+
+def _csr_matmat(
+    indptr: np.ndarray, indices: np.ndarray, values: np.ndarray, matrix: np.ndarray
+) -> np.ndarray:
+    """Sparse-dense product ``A @ matrix`` for a CSR-encoded square ``A``.
+
+    Per-edge contributions are summed row-by-row with ``np.add.reduceat``;
+    work and peak memory are O(nnz * dim).
+    """
+    n = indptr.size - 1
+    out = np.zeros((n, matrix.shape[1]))
+    if indices.size == 0:
+        return out
+    contributions = values[:, None] * matrix[indices]
+    nonempty = indptr[1:] > indptr[:-1]
+    out[nonempty] = np.add.reduceat(contributions, indptr[:-1][nonempty], axis=0)
+    return out
 
 
 def propagate_embeddings(
@@ -62,7 +88,9 @@ def propagate_embeddings(
         The finalised entity proximity graph.
     embeddings:
         Entity embeddings whose names are a superset of the graph's vertices
-        (typically the output of :func:`train_entity_embeddings`).
+        (typically the output of :func:`train_entity_embeddings`).  A graph
+        vertex without an embedding raises :class:`GraphError` naming the
+        missing entity.
     num_layers:
         Number of propagation steps; 1-3 is typical, more over-smooths.
     alpha:
@@ -83,12 +111,28 @@ def propagate_embeddings(
         raise GraphError("alpha must be in [0, 1]")
 
     names = graph.vertices
-    base = np.stack([embeddings.vector(name) for name in names])
-    adjacency = normalized_adjacency(graph)
+    ids = embeddings.ids(names)
+    missing = ids < 0
+    if missing.any():
+        name = names[int(np.flatnonzero(missing)[0])]
+        raise GraphError(
+            f"embeddings lack graph vertex '{name}'; propagate_embeddings needs "
+            "a vector for every vertex of the proximity graph"
+        )
+    base = embeddings.vectors[ids]
+
+    # \hat{A} X = D^{-1/2} (A + I) D^{-1/2} X, applied edge-wise: scale rows,
+    # sparse matvec plus the self-loop term, scale rows again.
+    indptr, indices, weights = graph.csr_arrays()
+    inverse_sqrt = 1.0 / np.sqrt(graph.degrees + 1.0)
 
     current = base
     for _ in range(num_layers):
-        current = (1.0 - alpha) * (adjacency @ current) + alpha * base
+        scaled = inverse_sqrt[:, None] * current
+        smoothed = inverse_sqrt[:, None] * (
+            _csr_matmat(indptr, indices, weights, scaled) + scaled
+        )
+        current = (1.0 - alpha) * smoothed + alpha * base
 
     if renormalize:
         norms = np.linalg.norm(current, axis=1, keepdims=True)
@@ -106,7 +150,8 @@ def low_degree_entities(
     These are the vertices the paper expects plain LINE to handle poorly and
     the ones that benefit most from :func:`propagate_embeddings`.
     """
-    return [name for name in graph.vertices if graph.degree(name) <= max_degree]
+    names = np.asarray(graph.vertices)
+    return names[graph.degrees <= max_degree].tolist()
 
 
 def embedding_shift(

@@ -10,21 +10,35 @@ paper:
 
 Entities with similar semantics end up with similar neighbourhoods in this
 graph, which is exactly what the second-order LINE objective preserves.
+
+Internally the graph is integer-indexed and array-native: entity names are
+encoded to ids once at :meth:`~EntityProximityGraph.finalize` time, raw pair
+occurrences are aggregated with ``np.unique`` over pair-id arrays, and the
+adjacency is stored in CSR form (``indptr`` / ``indices`` / per-edge weights)
+with cached weighted degrees.  The string-keyed query API (``neighbors``,
+``degree``, ``edge_weight``, ...) is a thin view over the id space; hot-path
+consumers (the LINE trainer, propagation) use the array accessors
+:meth:`edge_arrays`, :meth:`csr_arrays` and :attr:`degrees` directly.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import GraphError
+from ..utils.arrays import factorize_names
 
 try:  # networkx is an optional convenience for analysis / export.
     import networkx as _nx
 except ImportError:  # pragma: no cover - networkx ships with the environment
     _nx = None
+
+#: On-disk format marker for :meth:`EntityProximityGraph.save`.  Version 2 is
+#: the id-encoded layout (entity name table + integer pair ids); version 1
+#: (three parallel string arrays) is still readable.
+GRAPH_FORMAT_VERSION = 2
 
 
 class EntityProximityGraph:
@@ -34,12 +48,32 @@ class EntityProximityGraph:
         if min_cooccurrence < 1:
             raise GraphError("min_cooccurrence must be >= 1")
         self.min_cooccurrence = min_cooccurrence
-        self._counts: Dict[Tuple[str, str], int] = {}
-        self._weights: Dict[Tuple[str, str], float] = {}
-        self._adjacency: Dict[str, Dict[str, float]] = defaultdict(dict)
-        self._vertices: List[str] = []
-        self._vertex_index: Dict[str, int] = {}
+        # Pre-finalize buffers: raw pair occurrences are only accumulated
+        # here; all aggregation happens vectorised in finalize().
+        self._buffer_firsts: List[str] = []
+        self._buffer_seconds: List[str] = []
+        self._buffer_counts: List[int] = []
+        self._buffer_arrays: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         self._finalized = False
+
+        # Finalized state (filled by finalize()).
+        self._names: np.ndarray = np.empty(0, dtype=np.str_)
+        self._vertex_index: Dict[str, int] = {}
+        self._edge_src: np.ndarray = np.empty(0, dtype=np.int64)
+        self._edge_dst: np.ndarray = np.empty(0, dtype=np.int64)
+        self._edge_weights: np.ndarray = np.empty(0, dtype=np.float64)
+        self._edge_keys: np.ndarray = np.empty(0, dtype=np.int64)
+        self._indptr: np.ndarray = np.zeros(1, dtype=np.int64)
+        self._indices: np.ndarray = np.empty(0, dtype=np.int64)
+        self._csr_weights: np.ndarray = np.empty(0, dtype=np.float64)
+        self._degrees: np.ndarray = np.empty(0, dtype=np.float64)
+        # Raw aggregated counts over *all* pairs (kept and sub-threshold),
+        # preserved for cooccurrence() queries and save().
+        self._raw_names: np.ndarray = np.empty(0, dtype=np.str_)
+        self._raw_lo: np.ndarray = np.empty(0, dtype=np.int64)
+        self._raw_hi: np.ndarray = np.empty(0, dtype=np.int64)
+        self._raw_counts: np.ndarray = np.empty(0, dtype=np.int64)
+        self._raw_keys: np.ndarray = np.empty(0, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -56,13 +90,52 @@ class EntityProximityGraph:
             return
         if count <= 0:
             raise GraphError("co-occurrence count must be positive")
-        key = self._key(first, second)
-        self._counts[key] = self._counts.get(key, 0) + int(count)
+        self._buffer_firsts.append(first)
+        self._buffer_seconds.append(second)
+        self._buffer_counts.append(int(count))
+
+    def add_pair_arrays(
+        self,
+        firsts: Sequence[str],
+        seconds: Sequence[str],
+        counts: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Accumulate co-occurrences for whole pair arrays at once.
+
+        ``firsts[i]`` co-occurred with ``seconds[i]`` ``counts[i]`` times
+        (every ``counts`` defaults to 1, i.e. one sentence per row).  Pairs
+        need not be unique or alphabetically oriented — aggregation and
+        canonicalisation happen vectorised in :meth:`finalize`.  Self-pairs
+        are ignored, matching :meth:`add_cooccurrence`.
+        """
+        if self._finalized:
+            raise GraphError("graph already finalized; create a new one to add counts")
+        firsts = np.asarray(firsts, dtype=np.str_)
+        seconds = np.asarray(seconds, dtype=np.str_)
+        if firsts.shape != seconds.shape or firsts.ndim != 1:
+            raise GraphError("firsts and seconds must be 1-D arrays of equal length")
+        if counts is None:
+            counts_array = np.ones(firsts.size, dtype=np.int64)
+        else:
+            counts_array = np.asarray(counts, dtype=np.int64)
+            if counts_array.shape != firsts.shape:
+                raise GraphError("counts must align with the pair arrays")
+            if firsts.size and counts_array.min() <= 0:
+                raise GraphError("co-occurrence count must be positive")
+        if firsts.size == 0:
+            return
+        self._buffer_arrays.append((firsts, seconds, counts_array))
 
     def add_counts(self, counts: Mapping[Tuple[str, str], int]) -> None:
         """Accumulate a mapping of pair -> co-occurrence count."""
-        for (first, second), count in counts.items():
-            self.add_cooccurrence(first, second, count)
+        if not counts:
+            return
+        items = list(counts.items())
+        firsts = np.array([pair[0] for pair, _ in items], dtype=np.str_)
+        seconds = np.array([pair[1] for pair, _ in items], dtype=np.str_)
+        values = np.array([count for _, count in items], dtype=np.int64)
+        keep = firsts != seconds  # self-pairs are ignored, as in add_cooccurrence
+        self.add_pair_arrays(firsts[keep], seconds[keep], values[keep])
 
     @classmethod
     def from_counts(
@@ -77,6 +150,20 @@ class EntityProximityGraph:
         return graph
 
     @classmethod
+    def from_pair_arrays(
+        cls,
+        firsts: Sequence[str],
+        seconds: Sequence[str],
+        counts: Optional[Sequence[int]] = None,
+        min_cooccurrence: int = 1,
+    ) -> "EntityProximityGraph":
+        """Build and finalise a graph from parallel pair arrays (bulk path)."""
+        graph = cls(min_cooccurrence=min_cooccurrence)
+        graph.add_pair_arrays(firsts, seconds, counts)
+        graph.finalize()
+        return graph
+
+    @classmethod
     def from_sentences(
         cls,
         sentences: Iterable,
@@ -86,43 +173,124 @@ class EntityProximityGraph:
 
         Any object exposing ``first_entity`` and ``second_entity`` works.
         """
+        sentences = list(sentences)
         graph = cls(min_cooccurrence=min_cooccurrence)
-        for sentence in sentences:
-            graph.add_cooccurrence(sentence.first_entity, sentence.second_entity)
+        if sentences:
+            firsts = np.array([s.first_entity for s in sentences], dtype=np.str_)
+            seconds = np.array([s.second_entity for s in sentences], dtype=np.str_)
+            keep = firsts != seconds
+            graph.add_pair_arrays(firsts[keep], seconds[keep])
         graph.finalize()
         return graph
+
+    # ------------------------------------------------------------------ #
+    # Finalisation: names -> ids, np.unique aggregation, CSR assembly
+    # ------------------------------------------------------------------ #
+    def _gathered_buffers(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        chunks = list(self._buffer_arrays)
+        if self._buffer_firsts:
+            chunks.append(
+                (
+                    np.array(self._buffer_firsts, dtype=np.str_),
+                    np.array(self._buffer_seconds, dtype=np.str_),
+                    np.array(self._buffer_counts, dtype=np.int64),
+                )
+            )
+        if not chunks:
+            empty = np.empty(0, dtype=np.str_)
+            return empty, empty.copy(), np.empty(0, dtype=np.int64)
+        firsts = np.concatenate([c[0] for c in chunks])
+        seconds = np.concatenate([c[1] for c in chunks])
+        counts = np.concatenate([c[2] for c in chunks])
+        return firsts, seconds, counts
 
     def finalize(self) -> "EntityProximityGraph":
         """Apply the threshold, compute edge weights and freeze the graph."""
         if self._finalized:
             return self
-        kept = {
-            pair: count
-            for pair, count in self._counts.items()
-            if count >= self.min_cooccurrence
-        }
-        if not kept:
+        firsts, seconds, counts = self._gathered_buffers()
+        keep = firsts != seconds  # bulk rows may still contain self-pairs
+        firsts, seconds, counts = firsts[keep], seconds[keep], counts[keep]
+
+        if firsts.size:
+            # Encode names to ids once (name-sorted id space); orientation
+            # and aggregation then run entirely on integers.
+            raw_names, ids = factorize_names(np.concatenate([firsts, seconds]))
+            first_ids = ids[: firsts.size]
+            second_ids = ids[firsts.size:]
+            # Canonical orientation: alphabetically smaller name first, which
+            # in a name-sorted id space is simply the smaller id.
+            lo_ids = np.minimum(first_ids, second_ids)
+            hi_ids = np.maximum(first_ids, second_ids)
+            # Aggregate duplicate pairs via their combined integer key.
+            keys = lo_ids * np.int64(raw_names.size) + hi_ids
+            unique_keys, key_inverse = np.unique(keys, return_inverse=True)
+            pair_counts = np.bincount(
+                key_inverse, weights=counts.astype(np.float64)
+            ).astype(np.int64)
+            raw_lo = unique_keys // raw_names.size
+            raw_hi = unique_keys % raw_names.size
+        else:
+            raw_names = np.empty(0, dtype=np.str_)
+            unique_keys = raw_lo = raw_hi = np.empty(0, dtype=np.int64)
+            pair_counts = np.empty(0, dtype=np.int64)
+
+        kept = pair_counts >= self.min_cooccurrence
+        if not kept.any():
             raise GraphError(
                 "no entity pair reaches the co-occurrence threshold "
                 f"({self.min_cooccurrence}); the proximity graph would be empty"
             )
-        max_count = max(kept.values())
+        kept_lo, kept_hi, kept_counts = raw_lo[kept], raw_hi[kept], pair_counts[kept]
+
         # Paper: w_ij = log(co_ij) / log(max co).  We add-one smooth both logs
         # so that pairs with a single co-occurrence keep a strictly positive
         # weight (otherwise they could never be sampled by the LINE trainer).
-        log_max = np.log1p(max_count)
-        for (first, second), count in kept.items():
-            weight = float(np.log1p(count) / log_max)
-            self._weights[(first, second)] = weight
-            self._adjacency[first][second] = weight
-            self._adjacency[second][first] = weight
-        self._vertices = sorted(self._adjacency.keys())
-        self._vertex_index = {name: i for i, name in enumerate(self._vertices)}
+        weights = np.log1p(kept_counts) / np.log1p(kept_counts.max())
+
+        # Compact the vertex space to entities with at least one kept edge;
+        # raw_names is sorted, so compact ids remain in name order.
+        vertex_raw_ids = np.unique(np.concatenate([kept_lo, kept_hi]))
+        self._names = raw_names[vertex_raw_ids]
+        self._vertex_index = {name: i for i, name in enumerate(self._names.tolist())}
+        src = np.searchsorted(vertex_raw_ids, kept_lo)
+        dst = np.searchsorted(vertex_raw_ids, kept_hi)
+        n = vertex_raw_ids.size
+
+        # Canonical edge list, sorted by (src, dst) — np.unique already
+        # returned the pair keys in this order.
+        self._edge_src = src
+        self._edge_dst = dst
+        self._edge_weights = weights
+        self._edge_keys = src * np.int64(n) + dst
+
+        # CSR over both directions (the graph is undirected).
+        rows = np.concatenate([src, dst])
+        cols = np.concatenate([dst, src])
+        vals = np.concatenate([weights, weights])
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        self._indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=n), out=self._indptr[1:])
+        self._indices = cols
+        self._csr_weights = vals
+        self._degrees = np.bincount(rows, weights=vals, minlength=n)
+
+        self._raw_names = raw_names
+        self._raw_lo = raw_lo
+        self._raw_hi = raw_hi
+        self._raw_counts = pair_counts
+        self._raw_keys = unique_keys
+
+        self._buffer_firsts = []
+        self._buffer_seconds = []
+        self._buffer_counts = []
+        self._buffer_arrays = []
         self._finalized = True
         return self
 
     # ------------------------------------------------------------------ #
-    # Queries
+    # Queries (string-keyed thin view over the id space)
     # ------------------------------------------------------------------ #
     def _require_finalized(self) -> None:
         if not self._finalized:
@@ -131,17 +299,17 @@ class EntityProximityGraph:
     @property
     def num_vertices(self) -> int:
         self._require_finalized()
-        return len(self._vertices)
+        return int(self._names.size)
 
     @property
     def num_edges(self) -> int:
         self._require_finalized()
-        return len(self._weights)
+        return int(self._edge_weights.size)
 
     @property
     def vertices(self) -> List[str]:
         self._require_finalized()
-        return list(self._vertices)
+        return self._names.tolist()
 
     def vertex_index(self, name: str) -> int:
         self._require_finalized()
@@ -149,51 +317,137 @@ class EntityProximityGraph:
             raise KeyError(f"entity '{name}' is not in the proximity graph")
         return self._vertex_index[name]
 
+    def vertex_ids(self, names: Sequence[str]) -> np.ndarray:
+        """Encode entity names to vertex ids in one call.
+
+        Raises :class:`KeyError` naming the first entity that is not a graph
+        vertex.
+        """
+        self._require_finalized()
+        ids = np.empty(len(names), dtype=np.int64)
+        index = self._vertex_index
+        for i, name in enumerate(names):
+            found = index.get(name)
+            if found is None:
+                raise KeyError(f"entity '{name}' is not in the proximity graph")
+            ids[i] = found
+        return ids
+
     def has_vertex(self, name: str) -> bool:
         self._require_finalized()
         return name in self._vertex_index
 
+    def _neighbor_slice(self, name: str) -> slice:
+        vertex = self._vertex_index.get(name)
+        if vertex is None:
+            return slice(0, 0)
+        return slice(int(self._indptr[vertex]), int(self._indptr[vertex + 1]))
+
     def neighbors(self, name: str) -> Dict[str, float]:
         """Neighbours of an entity with their edge weights."""
         self._require_finalized()
-        return dict(self._adjacency.get(name, {}))
+        span = self._neighbor_slice(name)
+        return dict(
+            zip(
+                self._names[self._indices[span]].tolist(),
+                self._csr_weights[span].tolist(),
+            )
+        )
 
     def degree(self, name: str) -> float:
         """Weighted degree of an entity."""
         self._require_finalized()
-        return float(sum(self._adjacency.get(name, {}).values()))
+        vertex = self._vertex_index.get(name)
+        if vertex is None:
+            return 0.0
+        return float(self._degrees[vertex])
 
     def cooccurrence(self, first: str, second: str) -> int:
         """Raw co-occurrence count of a pair (0 if never seen)."""
-        return self._counts.get(self._key(first, second), 0)
+        if not self._finalized:
+            return self._buffered_cooccurrence(first, second)
+        lo, hi = self._key(first, second)
+        lo_pos = np.searchsorted(self._raw_names, lo)
+        hi_pos = np.searchsorted(self._raw_names, hi)
+        if (
+            lo_pos >= self._raw_names.size
+            or hi_pos >= self._raw_names.size
+            or self._raw_names[lo_pos] != lo
+            or self._raw_names[hi_pos] != hi
+        ):
+            return 0
+        key = lo_pos * np.int64(self._raw_names.size) + hi_pos
+        position = np.searchsorted(self._raw_keys, key)
+        if position >= self._raw_keys.size or self._raw_keys[position] != key:
+            return 0
+        return int(self._raw_counts[position])
+
+    def _buffered_cooccurrence(self, first: str, second: str) -> int:
+        lo, hi = self._key(first, second)
+        total = 0
+        for buffered_first, buffered_second, count in zip(
+            self._buffer_firsts, self._buffer_seconds, self._buffer_counts
+        ):
+            if self._key(buffered_first, buffered_second) == (lo, hi):
+                total += count
+        for firsts, seconds, counts in self._buffer_arrays:
+            match = ((firsts == lo) & (seconds == hi)) | ((firsts == hi) & (seconds == lo))
+            if match.any():
+                total += int(counts[match].sum())
+        return total
 
     def edge_weight(self, first: str, second: str) -> float:
         """Normalised edge weight (0 if the edge does not exist)."""
         self._require_finalized()
-        return self._weights.get(self._key(first, second), 0.0)
+        first_id = self._vertex_index.get(first)
+        second_id = self._vertex_index.get(second)
+        if first_id is None or second_id is None:
+            return 0.0
+        if first_id > second_id:
+            first_id, second_id = second_id, first_id
+        key = first_id * np.int64(self.num_vertices) + second_id
+        position = np.searchsorted(self._edge_keys, key)
+        if position >= self._edge_keys.size or self._edge_keys[position] != key:
+            return 0.0
+        return float(self._edge_weights[position])
 
     def edges(self) -> List[Tuple[str, str, float]]:
         """All edges as (first, second, weight) triples."""
         self._require_finalized()
-        return [(a, b, w) for (a, b), w in self._weights.items()]
+        return list(
+            zip(
+                self._names[self._edge_src].tolist(),
+                self._names[self._edge_dst].tolist(),
+                self._edge_weights.tolist(),
+            )
+        )
 
     def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Vectorised edge list: (source indices, target indices, weights)."""
         self._require_finalized()
-        sources = np.empty(self.num_edges, dtype=np.int64)
-        targets = np.empty(self.num_edges, dtype=np.int64)
-        weights = np.empty(self.num_edges, dtype=np.float64)
-        for i, ((first, second), weight) in enumerate(self._weights.items()):
-            sources[i] = self._vertex_index[first]
-            targets[i] = self._vertex_index[second]
-            weights[i] = weight
-        return sources, targets, weights
+        return self._edge_src.copy(), self._edge_dst.copy(), self._edge_weights.copy()
+
+    def csr_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The adjacency in CSR form: ``(indptr, indices, weights)``.
+
+        ``indices[indptr[i]:indptr[i+1]]`` are vertex ``i``'s neighbours (in
+        id order) and the aligned ``weights`` slice holds the edge weights;
+        each undirected edge appears in both endpoint rows.  The returned
+        arrays are the graph's own storage — treat them as read-only.
+        """
+        self._require_finalized()
+        return self._indptr, self._indices, self._csr_weights
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Cached weighted degree per vertex id (aligned with :attr:`vertices`)."""
+        self._require_finalized()
+        return self._degrees
 
     def degree_vector(self, power: float = 0.75) -> np.ndarray:
         """Weighted degrees raised to ``power`` (LINE's noise distribution)."""
         self._require_finalized()
-        degrees = np.array([self.degree(name) for name in self._vertices])
-        return degrees ** power
+        return self._degrees ** power
 
     def common_neighbors(self, first: str, second: str) -> List[str]:
         """Entities adjacent to both ``first`` and ``second``.
@@ -202,9 +456,12 @@ class EntityProximityGraph:
         of semantic proximity (the Houston / Dallas example of Figure 3).
         """
         self._require_finalized()
-        neighbors_first = set(self._adjacency.get(first, {}))
-        neighbors_second = set(self._adjacency.get(second, {}))
-        return sorted(neighbors_first & neighbors_second)
+        first_span = self._neighbor_slice(first)
+        second_span = self._neighbor_slice(second)
+        shared = np.intersect1d(
+            self._indices[first_span], self._indices[second_span], assume_unique=True
+        )
+        return self._names[shared].tolist()
 
     # ------------------------------------------------------------------ #
     # Persistence (artifact cache)
@@ -212,20 +469,23 @@ class EntityProximityGraph:
     def save(self, path) -> None:
         """Save the raw co-occurrence counts and threshold to an ``.npz`` file.
 
-        The finalised state (weights, adjacency) is derived data and is
+        The finalised state (weights, CSR adjacency) is derived data and is
         recomputed on :meth:`load`, which keeps the file format independent of
-        the weighting formula.
+        the weighting formula.  Pairs are stored id-encoded against a single
+        entity-name table (format version 2); :meth:`load` also reads the
+        legacy format with three parallel string arrays.
         """
         from ..utils.serialization import save_npz
 
         self._require_finalized()
-        pairs = sorted(self._counts.items())
         save_npz(
             path,
             {
-                "firsts": np.array([first for (first, _), _ in pairs], dtype=np.str_),
-                "seconds": np.array([second for (_, second), _ in pairs], dtype=np.str_),
-                "counts": np.array([count for _, count in pairs], dtype=np.int64),
+                "format": np.array([GRAPH_FORMAT_VERSION], dtype=np.int64),
+                "entity_names": self._raw_names,
+                "pair_lo": self._raw_lo,
+                "pair_hi": self._raw_hi,
+                "counts": self._raw_counts,
                 "min_cooccurrence": np.array([self.min_cooccurrence], dtype=np.int64),
             },
         )
@@ -236,13 +496,28 @@ class EntityProximityGraph:
         from ..utils.serialization import load_npz
 
         data = load_npz(path)
-        counts = {
-            (str(first), str(second)): int(count)
-            for first, second, count in zip(
-                data["firsts"].tolist(), data["seconds"].tolist(), data["counts"].tolist()
+        min_cooccurrence = int(data["min_cooccurrence"][0])
+        if "format" in data:
+            version = int(data["format"][0])
+            if version != GRAPH_FORMAT_VERSION:
+                raise GraphError(
+                    f"proximity-graph file format {version} is not supported "
+                    f"by this build (expected {GRAPH_FORMAT_VERSION})"
+                )
+        if "entity_names" in data:
+            names = data["entity_names"]
+            return cls.from_pair_arrays(
+                names[data["pair_lo"]],
+                names[data["pair_hi"]],
+                data["counts"],
+                min_cooccurrence=min_cooccurrence,
             )
-        }
-        return cls.from_counts(counts, min_cooccurrence=int(data["min_cooccurrence"][0]))
+        if "firsts" in data:  # legacy format: parallel string arrays
+            return cls.from_pair_arrays(
+                data["firsts"], data["seconds"], data["counts"],
+                min_cooccurrence=min_cooccurrence,
+            )
+        raise GraphError(f"unrecognised proximity-graph file format: {sorted(data)}")
 
     def to_networkx(self):
         """Export the graph to a :class:`networkx.Graph` (weights preserved)."""
@@ -250,8 +525,6 @@ class EntityProximityGraph:
         if _nx is None:  # pragma: no cover
             raise GraphError("networkx is not available")
         graph = _nx.Graph()
-        graph.add_nodes_from(self._vertices)
-        graph.add_weighted_edges_from(
-            (first, second, weight) for (first, second), weight in self._weights.items()
-        )
+        graph.add_nodes_from(self.vertices)
+        graph.add_weighted_edges_from(self.edges())
         return graph

@@ -1,0 +1,329 @@
+"""Seed-era reference implementations of the graph engine.
+
+The array-native graph stack (:mod:`repro.graph.proximity`,
+:mod:`repro.graph.alias`, :mod:`repro.graph.line`,
+:mod:`repro.graph.propagation`) replaced the original string-keyed /
+dict-based code.  This module keeps that original behaviour alive as an
+*executable specification*: the parity tests assert that the vectorised
+implementations produce the same weights, distributions and propagated
+vectors to float round-off, and ``benchmarks/test_bench_graph.py`` uses it
+as the baseline its speedup claims are measured against.
+
+Nothing here is meant for production use — every function and class trades
+speed for being a line-by-line transcription of the seed implementation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import GraphError
+from .embeddings import EntityEmbeddings
+from .line import LineConfig, _sigmoid
+from .propagation import normalized_adjacency
+from .proximity import EntityProximityGraph
+
+
+def reference_cooccurrence_counts(
+    firsts: Sequence[str], seconds: Sequence[str]
+) -> Dict[Tuple[str, str], int]:
+    """Per-sentence dict accumulation of pair co-occurrence counts.
+
+    Transcribes the seed ``UnlabeledCorpusGenerator.cooccurrence_counts``:
+    one dict update per sentence with an alphabetically sorted pair key.
+    """
+    counts: Dict[Tuple[str, str], int] = defaultdict(int)
+    for first, second in zip(firsts, seconds):
+        if first == second:
+            continue
+        key = tuple(sorted((first, second)))
+        counts[key] += 1
+    return dict(counts)
+
+
+class ReferenceProximityGraph:
+    """Dict-of-dicts proximity graph, as in the seed implementation.
+
+    Only the surface the parity tests and benchmarks need is kept: dict
+    construction/finalisation, weights, adjacency, degrees and the edge
+    arrays the LINE trainer consumes.
+    """
+
+    def __init__(self, min_cooccurrence: int = 1) -> None:
+        if min_cooccurrence < 1:
+            raise GraphError("min_cooccurrence must be >= 1")
+        self.min_cooccurrence = min_cooccurrence
+        self._counts: Dict[Tuple[str, str], int] = {}
+        self._weights: Dict[Tuple[str, str], float] = {}
+        self._adjacency: Dict[str, Dict[str, float]] = defaultdict(dict)
+        self._vertices: List[str] = []
+        self._vertex_index: Dict[str, int] = {}
+        self._finalized = False
+
+    @staticmethod
+    def _key(first: str, second: str) -> Tuple[str, str]:
+        return (first, second) if first <= second else (second, first)
+
+    def add_cooccurrence(self, first: str, second: str, count: int = 1) -> None:
+        if first == second:
+            return
+        if count <= 0:
+            raise GraphError("co-occurrence count must be positive")
+        key = self._key(first, second)
+        self._counts[key] = self._counts.get(key, 0) + int(count)
+
+    @classmethod
+    def from_counts(
+        cls,
+        counts: Dict[Tuple[str, str], int],
+        min_cooccurrence: int = 1,
+    ) -> "ReferenceProximityGraph":
+        graph = cls(min_cooccurrence=min_cooccurrence)
+        for (first, second), count in counts.items():
+            graph.add_cooccurrence(first, second, count)
+        graph.finalize()
+        return graph
+
+    def finalize(self) -> "ReferenceProximityGraph":
+        if self._finalized:
+            return self
+        kept = {
+            pair: count
+            for pair, count in self._counts.items()
+            if count >= self.min_cooccurrence
+        }
+        if not kept:
+            raise GraphError(
+                "no entity pair reaches the co-occurrence threshold "
+                f"({self.min_cooccurrence}); the proximity graph would be empty"
+            )
+        max_count = max(kept.values())
+        log_max = np.log1p(max_count)
+        for (first, second), count in kept.items():
+            weight = float(np.log1p(count) / log_max)
+            self._weights[(first, second)] = weight
+            self._adjacency[first][second] = weight
+            self._adjacency[second][first] = weight
+        self._vertices = sorted(self._adjacency.keys())
+        self._vertex_index = {name: i for i, name in enumerate(self._vertices)}
+        self._finalized = True
+        return self
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._weights)
+
+    @property
+    def vertices(self) -> List[str]:
+        return list(self._vertices)
+
+    def neighbors(self, name: str) -> Dict[str, float]:
+        return dict(self._adjacency.get(name, {}))
+
+    def degree(self, name: str) -> float:
+        return float(sum(self._adjacency.get(name, {}).values()))
+
+    def edge_weight(self, first: str, second: str) -> float:
+        return self._weights.get(self._key(first, second), 0.0)
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        sources = np.empty(self.num_edges, dtype=np.int64)
+        targets = np.empty(self.num_edges, dtype=np.int64)
+        weights = np.empty(self.num_edges, dtype=np.float64)
+        for i, ((first, second), weight) in enumerate(self._weights.items()):
+            sources[i] = self._vertex_index[first]
+            targets[i] = self._vertex_index[second]
+            weights[i] = weight
+        return sources, targets, weights
+
+    def degree_vector(self, power: float = 0.75) -> np.ndarray:
+        degrees = np.array([self.degree(name) for name in self._vertices])
+        return degrees ** power
+
+
+def reference_alias_tables(weights: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Sequential small/large-stack Vose construction (seed ``AliasSampler``)."""
+    weights = np.asarray(weights, dtype=np.float64)
+    n = weights.size
+    probabilities = weights * n / weights.sum()
+    prob = np.zeros(n, dtype=np.float64)
+    alias = np.zeros(n, dtype=np.int64)
+
+    small = [i for i in range(n) if probabilities[i] < 1.0]
+    large = [i for i in range(n) if probabilities[i] >= 1.0]
+    probabilities = probabilities.copy()
+    while small and large:
+        small_index = small.pop()
+        large_index = large.pop()
+        prob[small_index] = probabilities[small_index]
+        alias[small_index] = large_index
+        probabilities[large_index] -= 1.0 - probabilities[small_index]
+        if probabilities[large_index] < 1.0:
+            small.append(large_index)
+        else:
+            large.append(large_index)
+    for index in large + small:
+        prob[index] = 1.0
+        alias[index] = index
+    return prob, alias
+
+
+class ReferenceAliasSampler:
+    """Alias sampler whose tables come from the sequential construction."""
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or weights.size == 0:
+            raise ValueError("weights must be a non-empty 1-D sequence")
+        if np.any(weights < 0):
+            raise ValueError("weights must be non-negative")
+        if weights.sum() <= 0:
+            raise ValueError("at least one weight must be positive")
+        self._n = weights.size
+        self._prob, self._alias = reference_alias_tables(weights)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> np.ndarray:
+        count = 1 if size is None else int(size)
+        columns = rng.integers(self._n, size=count)
+        coins = rng.random(count)
+        picks = np.where(coins < self._prob[columns], columns, self._alias[columns])
+        if size is None:
+            return int(picks[0])
+        return picks
+
+
+class ReferenceLineTrainer:
+    """Seed LINE trainer: per-step sampling and ``np.add.at`` scatters.
+
+    Works against either graph class (it only needs ``edge_arrays``,
+    ``degree_vector`` and ``num_vertices``).
+    """
+
+    def __init__(self, graph, config: Optional[LineConfig] = None) -> None:
+        self.graph = graph
+        self.config = config or LineConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+
+        self._sources, self._targets, self._weights = graph.edge_arrays()
+        if len(self._sources) == 0:
+            raise GraphError("cannot embed a graph without edges")
+        self._edge_sampler = ReferenceAliasSampler(self._weights)
+        self._negative_sampler = ReferenceAliasSampler(graph.degree_vector(power=0.75))
+
+        n = graph.num_vertices
+        d = self.config.order_dim
+        scale = 0.5 / d
+        self.first_order = self._rng.uniform(-scale, scale, size=(n, d))
+        self.second_order = self._rng.uniform(-scale, scale, size=(n, d))
+        self.second_context = np.zeros((n, d))
+        self._history: Dict[str, list] = {"first_order_loss": [], "second_order_loss": []}
+
+    def _sample_batch(self, batch_size: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        edge_indices = self._edge_sampler.sample(self._rng, size=batch_size)
+        sources = self._sources[edge_indices]
+        targets = self._targets[edge_indices]
+        flip = self._rng.random(batch_size) < 0.5
+        sources, targets = (
+            np.where(flip, targets, sources),
+            np.where(flip, sources, targets),
+        )
+        negatives = self._negative_sampler.sample(
+            self._rng, size=batch_size * self.config.negative_samples
+        ).reshape(batch_size, self.config.negative_samples)
+        return sources, targets, negatives
+
+    def _step_order(
+        self,
+        vertex_table: np.ndarray,
+        context_table: np.ndarray,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        negatives: np.ndarray,
+        lr: float,
+    ) -> float:
+        u = vertex_table[sources]
+        v_pos = context_table[targets]
+        v_neg = context_table[negatives]
+
+        pos_scores = np.einsum("bd,bd->b", u, v_pos)
+        neg_scores = np.einsum("bd,bkd->bk", u, v_neg)
+        pos_sig = _sigmoid(pos_scores)
+        neg_sig = _sigmoid(neg_scores)
+
+        loss = -np.log(pos_sig + 1e-12).mean() - np.log(1.0 - neg_sig + 1e-12).sum(axis=1).mean()
+
+        grad_pos = (pos_sig - 1.0)[:, None]
+        grad_neg = neg_sig[:, :, None]
+
+        grad_u = grad_pos * v_pos + np.einsum("bk,bkd->bd", neg_sig, v_neg)
+        grad_v_pos = grad_pos * u
+        grad_v_neg = grad_neg * u[:, None, :]
+
+        np.add.at(vertex_table, sources, -lr * grad_u)
+        np.add.at(context_table, targets, -lr * grad_v_pos)
+        np.add.at(
+            context_table,
+            negatives.reshape(-1),
+            -lr * grad_v_neg.reshape(-1, vertex_table.shape[1]),
+        )
+        return float(loss)
+
+    def train(self, verbose: bool = False) -> Dict[str, list]:
+        num_edges = len(self._sources)
+        steps_per_epoch = max(1, num_edges // self.config.batch_edges)
+        total_steps = steps_per_epoch * self.config.epochs
+        for step in range(total_steps):
+            lr = self.config.learning_rate * max(0.0001, 1.0 - step / total_steps)
+            sources, targets, negatives = self._sample_batch(self.config.batch_edges)
+            loss1 = self._step_order(
+                self.first_order, self.first_order, sources, targets, negatives, lr
+            )
+            loss2 = self._step_order(
+                self.second_order, self.second_context, sources, targets, negatives, lr
+            )
+            self._history["first_order_loss"].append(loss1)
+            self._history["second_order_loss"].append(loss2)
+        return self._history
+
+
+def reference_propagate(
+    graph: EntityProximityGraph,
+    embeddings: EntityEmbeddings,
+    num_layers: int = 2,
+    alpha: float = 0.5,
+    renormalize: bool = True,
+) -> EntityEmbeddings:
+    """Dense-adjacency propagation (seed ``propagate_embeddings``).
+
+    Materialises the full ``D^{-1/2} (A + I) D^{-1/2}`` matrix — O(n^2)
+    memory — and propagates with dense matmuls; the per-name ``np.stack``
+    base lookup of the seed is kept as well.
+    """
+    if num_layers < 1:
+        raise GraphError("num_layers must be at least 1")
+    if not 0.0 <= alpha <= 1.0:
+        raise GraphError("alpha must be in [0, 1]")
+
+    names = graph.vertices
+    base = np.stack([embeddings.vector(name) for name in names])
+    adjacency = normalized_adjacency(graph)
+
+    current = base
+    for _ in range(num_layers):
+        current = (1.0 - alpha) * (adjacency @ current) + alpha * base
+
+    if renormalize:
+        norms = np.linalg.norm(current, axis=1, keepdims=True)
+        norms = np.where(norms == 0.0, 1.0, norms)
+        current = current / norms
+    return EntityEmbeddings(names, current)

@@ -1,5 +1,6 @@
 """Shared utilities: seeding, logging, serialization, caching and tables."""
 
+from .arrays import factorize_names
 from .artifacts import ArtifactCache, CacheStats, content_key, default_cache_dir
 from .rng import SeedSequenceFactory, new_rng, spawn_rngs
 from .serialization import load_json, load_npz, save_json, save_npz
@@ -7,6 +8,7 @@ from .logging import get_logger
 from .tables import format_table
 
 __all__ = [
+    "factorize_names",
     "new_rng",
     "spawn_rngs",
     "SeedSequenceFactory",

@@ -1,0 +1,34 @@
+"""Array helpers shared by the data-preparation stages."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def factorize_names(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Encode a string array to integer ids in name-sorted order.
+
+    Returns ``(names, codes)`` with ``names`` the sorted unique values and
+    ``names[codes]`` equal to ``values`` — the same contract as
+    ``np.unique(values, return_inverse=True)``.  A single C-level hash-map
+    pass assigns provisional ids and only the unique values are argsorted,
+    which beats ``np.unique``'s full string sort whenever values repeat
+    heavily (entity mentions in a co-occurrence stream do).
+    """
+    values = np.asarray(values, dtype=np.str_)
+    if values.size == 0:
+        return np.empty(0, dtype=np.str_), np.empty(0, dtype=np.int64)
+    index: Dict[str, int] = {}
+    setdefault = index.setdefault
+    codes = np.fromiter(
+        (setdefault(value, len(index)) for value in values.tolist()),
+        dtype=np.int64,
+        count=values.size,
+    )
+    unique = np.array(list(index), dtype=np.str_)
+    order = np.argsort(unique)
+    remap = np.empty(unique.size, dtype=np.int64)
+    remap[order] = np.arange(unique.size)
+    return unique[order], remap[codes]
