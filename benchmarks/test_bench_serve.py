@@ -1,6 +1,6 @@
 """Benchmarks for the batch inference subsystem (:mod:`repro.serve`).
 
-Two claims are measured:
+Three claims are measured:
 
 1. **Batched serving throughput** — the :class:`PredictionService` merges
    request bags into padded batches and runs one vectorized forward pass per
@@ -10,6 +10,10 @@ Two claims are measured:
    :class:`ArtifactCache` must hit the cache for all four expensive artifacts
    (proximity graph, LINE embeddings, encoded train/test corpora) instead of
    recomputing them.
+3. **Checkpoint cold start** — ``PredictionService.from_checkpoint`` must
+   rebuild the exact training-time service (bit-equal predictions) from a
+   saved checkpoint directory, and the save/load/first-batch timings are
+   recorded in ``results/serve_cold_start.txt``.
 """
 
 from __future__ import annotations
@@ -110,3 +114,49 @@ def test_serve_artifact_cache_reuse(bench_profile, tmp_path_factory):
         title=f"prepare_context('nyt', profile={bench_profile.name}) artifact reuse",
     )
     write_report("serve_artifact_cache", report)
+
+
+def test_serve_checkpoint_cold_start(nyt_ctx, tmp_path_factory):
+    """Train -> checkpoint -> fresh service; parity plus cold-start timings."""
+    method, _ = train_and_evaluate(nyt_ctx, "pa_tmr")
+    model = method.model
+    checkpoint_dir = tmp_path_factory.mktemp("checkpoint") / "pa_tmr"
+
+    save_start = time.perf_counter()
+    model.save(
+        checkpoint_dir,
+        encoder=nyt_ctx.bag_encoder,
+        schema=nyt_ctx.bundle.schema,
+        kb=nyt_ctx.bundle.kb,
+    )
+    save_seconds = time.perf_counter() - save_start
+
+    load_start = time.perf_counter()
+    cold_service = PredictionService.from_checkpoint(checkpoint_dir)
+    load_seconds = time.perf_counter() - load_start
+
+    workload = nyt_ctx.test_encoded
+    first_batch_start = time.perf_counter()
+    cold_probabilities = cold_service.predict_encoded(workload)
+    first_batch_seconds = time.perf_counter() - first_batch_start
+
+    # The resurrected service must be indistinguishable from the in-process
+    # one: same encoder configuration, bit-equal predictions.
+    warm_service = PredictionService.from_context(nyt_ctx, model)
+    np.testing.assert_array_equal(
+        cold_probabilities, warm_service.predict_encoded(workload)
+    )
+
+    total = save_seconds + load_seconds + first_batch_seconds
+    report = format_table(
+        ["stage", "seconds"],
+        [
+            ["save checkpoint (weights + encoder + schema/KB)", save_seconds],
+            ["load checkpoint -> PredictionService", load_seconds],
+            [f"first batch ({len(workload)} bags)", first_batch_seconds],
+            ["total cold start", total],
+        ],
+        title=f"Checkpoint cold start, pa_tmr on {nyt_ctx.dataset_name} "
+        f"(profile={nyt_ctx.profile.name})",
+    )
+    write_report("serve_cold_start", report)

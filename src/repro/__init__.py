@@ -13,12 +13,16 @@ The package is organised as:
 * :mod:`repro.baselines` — every compared method;
 * :mod:`repro.training`, :mod:`repro.eval` — training loop and held-out
   evaluation;
-* :mod:`repro.experiments` — one module per table/figure of the paper;
+* :mod:`repro.experiments` — one module per table/figure of the paper, the
+  declarative experiment registry and structured :class:`ExperimentResult`;
 * :mod:`repro.batch` — shared padded-batch layer: one vectorized forward for
   training (autograd-capable) and serving;
 * :mod:`repro.serve` — batched inference service over a trained model;
-* :mod:`repro.utils` — logging, rng, serialization and the artifact cache
-  shared by the experiments and the serving layer.
+* :mod:`repro.utils` — logging, rng, serialization, the artifact cache and
+  the versioned model-checkpoint format (:mod:`repro.utils.checkpoint`);
+* :mod:`repro.api` — the :class:`Session` facade tying experiments, training
+  and serving together; :mod:`repro.cli` — the ``python -m repro``
+  subcommand CLI (run / list / train / serve).
 
 See ``README.md`` for the module map and the paper table/figure index, and
 ``docs/`` for the architecture and serving guides.
@@ -60,7 +64,13 @@ from .serve import PredictionRequest, PredictionResult, PredictionService
 from .training import Trainer
 from .utils import ArtifactCache
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# The facade imports the experiment registry and CLI helpers, so it must come
+# after every subsystem above is initialised.
+from . import api  # noqa: E402
+from .api import Session  # noqa: E402
+from .experiments.results import ExperimentResult  # noqa: E402
 
 __all__ = [
     "nn",
@@ -103,5 +113,8 @@ __all__ = [
     "PredictionRequest",
     "PredictionResult",
     "ArtifactCache",
+    "api",
+    "Session",
+    "ExperimentResult",
     "__version__",
 ]

@@ -1,0 +1,157 @@
+"""Top-level facade: one object tying experiments, training and serving together.
+
+:class:`Session` replaces the process-global
+:func:`repro.experiments.pipeline.set_default_cache` pattern with explicit
+state: a session owns its scale profile, seed and artifact cache (shared by
+everything it runs), keeps one prepared
+:class:`~repro.experiments.pipeline.ExperimentContext` per dataset for its
+training/serving helpers, and exposes the full model lifecycle::
+
+    import repro
+
+    session = repro.Session(profile="tiny", seed=0, cache_dir="~/.cache/repro")
+    result = session.run("table4")                  # ExperimentResult
+    method, evaluation = session.train("pa_tmr")    # train + held-out eval
+    session.save_checkpoint("./ckpt", method)       # versioned checkpoint
+    service = repro.api.load_service("./ckpt")      # cold-start serving
+
+The legacy global still works (the runner and old scripts use it); sessions
+never touch it except for the scoped install around each experiment run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .cli import resolve_profile
+from .config import ScaleProfile
+from .eval.heldout import EvaluationResult
+from .experiments import registry
+from .experiments.pipeline import ExperimentContext, prepare_context, train_and_evaluate
+from .experiments.registry import ExperimentSpec
+from .experiments.results import ExperimentResult
+from .serve.service import PredictionService
+from .utils.artifacts import ArtifactCache
+from .utils.checkpoint import checkpointable_model
+
+PathLike = Union[str, Path]
+
+
+def load_service(checkpoint: PathLike, batch_size: int = 32) -> PredictionService:
+    """Cold-start a :class:`PredictionService` from a checkpoint directory."""
+    return PredictionService.from_checkpoint(checkpoint, batch_size=batch_size)
+
+
+class Session:
+    """Explicit experiment/model-lifecycle state.
+
+    Parameters
+    ----------
+    profile:
+        A profile name (``"tiny"`` / ``"small"`` / ``"medium"``) or a
+        :class:`ScaleProfile` instance.
+    seed:
+        Default seed for every context and experiment of this session.
+    cache / cache_dir:
+        Optional artifact cache (or a directory to build one in); expensive
+        pipeline stages are shared across everything the session runs.
+    """
+
+    def __init__(
+        self,
+        profile: Union[str, ScaleProfile] = "small",
+        seed: int = 0,
+        cache: Optional[ArtifactCache] = None,
+        cache_dir: Optional[PathLike] = None,
+    ) -> None:
+        self.profile = resolve_profile(profile)
+        self.seed = seed
+        if cache is None and cache_dir is not None:
+            cache = ArtifactCache(cache_dir)
+        self.cache = cache
+        self._contexts: Dict[str, ExperimentContext] = {}
+
+    # ------------------------------------------------------------------ #
+    # Contexts
+    # ------------------------------------------------------------------ #
+    def context(self, dataset: str = "nyt") -> ExperimentContext:
+        """The prepared experiment context for ``dataset`` (built once)."""
+        key = dataset.lower()
+        if key not in self._contexts:
+            self._contexts[key] = prepare_context(
+                key, profile=self.profile, seed=self.seed, cache=self.cache
+            )
+        return self._contexts[key]
+
+    # ------------------------------------------------------------------ #
+    # Experiments
+    # ------------------------------------------------------------------ #
+    def experiments(self) -> List[ExperimentSpec]:
+        """Specs of every experiment this session can run."""
+        return registry.experiment_specs()
+
+    def run(self, experiment: str, **params) -> ExperimentResult:
+        """Run one registered experiment under this session's profile/seed/cache.
+
+        Each run prepares its own pipeline context (reusing the session's
+        artifact cache, so the expensive stages are shared); to also reuse a
+        context's trained-method cache, pass it explicitly::
+
+            session.run("figure6", context=session.context("nyt"))
+        """
+        return registry.run(
+            experiment, self.profile, seed=self.seed, cache=self.cache, **params
+        )
+
+    def run_all(self, experiments: Optional[List[str]] = None) -> Dict[str, ExperimentResult]:
+        """Run several (default: all) experiments; returns ``{name: result}``."""
+        names = experiments if experiments is not None else registry.available_experiments()
+        return {name: self.run(name) for name in names}
+
+    # ------------------------------------------------------------------ #
+    # Model lifecycle
+    # ------------------------------------------------------------------ #
+    def train(self, method: str = "pa_tmr", dataset: str = "nyt") -> Tuple[object, EvaluationResult]:
+        """Train one method on the session context and evaluate it held-out.
+
+        Returns the fitted :class:`~repro.baselines.api.RelationExtractionMethod`
+        and its :class:`EvaluationResult`; repeated calls reuse the context's
+        per-method cache.
+        """
+        return train_and_evaluate(self.context(dataset), method)
+
+    def save_checkpoint(
+        self,
+        path: PathLike,
+        method_or_model,
+        dataset: str = "nyt",
+        metadata: Optional[Dict] = None,
+    ) -> Path:
+        """Save a servable checkpoint for a trained method or model.
+
+        The session context supplies the bag encoder, relation schema and
+        knowledge base, so :func:`load_service` can cold-start the exact
+        training-time serving setup from the written directory.  Methods
+        without a :class:`NeuralREModel` (the feature baselines, CNN+RL)
+        raise :class:`~repro.exceptions.UsageError`, matching the CLI.
+        """
+        model = checkpointable_model(method_or_model)
+        context = self.context(dataset)
+        return model.save(
+            path,
+            encoder=context.bag_encoder,
+            schema=context.bundle.schema,
+            kb=context.bundle.kb,
+            metadata=metadata,
+        )
+
+    def service(
+        self,
+        method_or_model,
+        dataset: str = "nyt",
+        batch_size: int = 32,
+    ) -> PredictionService:
+        """An in-process :class:`PredictionService` over a trained method/model."""
+        model = checkpointable_model(method_or_model)
+        return PredictionService.from_context(self.context(dataset), model, batch_size=batch_size)

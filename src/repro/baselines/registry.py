@@ -30,6 +30,11 @@ from .multir import MultiRMethod
 FEATURE_METHODS = ("mintz", "multir", "mimlre")
 PROPOSED_METHODS = ("pa_t", "pa_mr", "pa_tmr")
 
+# Methods whose fitted state does not live in a single NeuralREModel (the
+# feature baselines, and CNN+RL's REINFORCE selector policy) — these cannot
+# be saved to a model checkpoint.
+NON_NEURAL_METHODS = FEATURE_METHODS + ("cnn_rl",)
+
 # Display names matching the paper's tables and figures.
 DISPLAY_NAMES = {
     "mintz": "Mintz",
@@ -65,6 +70,27 @@ def display_name(name: str) -> str:
     return name.upper()
 
 
+def normalize_method_name(name: str) -> str:
+    """Validate a method name without building anything; returns the key.
+
+    This is THE name-validity check: :func:`build_method` routes through it,
+    and drivers (the CLI, the Session facade) call it to fail fast on typos
+    before paying for dataset/graph/embedding preparation.  Raises
+    :class:`ConfigurationError` for unknown names.
+    """
+    key = name.lower()
+    if key in NON_NEURAL_METHODS or key in PROPOSED_METHODS or key in BASE_MODEL_NAMES:
+        return key
+    if _parse_augmented_name(key) is not None:
+        return key
+    raise ConfigurationError(f"unknown method '{name}'; available: {available_methods()}")
+
+
+def is_checkpointable_method(name: str) -> bool:
+    """Whether :func:`build_method` yields a checkpointable neural model."""
+    return normalize_method_name(name) not in NON_NEURAL_METHODS
+
+
 def _parse_augmented_name(name: str) -> Optional[tuple]:
     """Split names like ``gru_att+tmr`` into (base, use_types, use_mr)."""
     if "+" not in name:
@@ -93,7 +119,7 @@ def build_method(
     seed: int = 0,
 ) -> RelationExtractionMethod:
     """Build a ready-to-fit method by its (lower-case) name."""
-    name = name.lower()
+    name = normalize_method_name(name)
     model_config = model_config or ModelConfig.paper_defaults()
     training_config = training_config or TrainingConfig(seed=seed)
     rng = np.random.default_rng(seed)

@@ -96,6 +96,41 @@ class NeuralREModel(nn.Module):
         return self.combiner(re_logits, type_logits=type_logits, mr_logits=mr_logits)
 
     # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def save(
+        self,
+        path,
+        encoder=None,
+        schema=None,
+        kb=None,
+        metadata: Optional[Dict] = None,
+    ):
+        """Write this model to a versioned checkpoint directory.
+
+        Pass the training-time ``encoder`` (:class:`repro.corpus.loader.BagEncoder`),
+        ``schema`` and optionally ``kb`` to make the checkpoint directly
+        servable via :meth:`repro.serve.PredictionService.from_checkpoint`;
+        without them the checkpoint round-trips the model only.  See
+        :mod:`repro.utils.checkpoint` for the on-disk format.
+        """
+        from ..utils.checkpoint import save_checkpoint
+
+        return save_checkpoint(
+            path, self, encoder=encoder, schema=schema, kb=kb, metadata=metadata
+        )
+
+    @classmethod
+    def load(cls, path) -> "NeuralREModel":
+        """Rebuild a model from a checkpoint directory (in eval mode).
+
+        Predictions of the loaded model are bit-identical to the saved one.
+        """
+        from ..utils.checkpoint import load_checkpoint
+
+        return load_checkpoint(path).model
+
+    # ------------------------------------------------------------------ #
     # Prediction helpers
     # ------------------------------------------------------------------ #
     def predict_probabilities(self, bag: EncodedBag) -> np.ndarray:

@@ -43,6 +43,19 @@ class TypeVocabulary:
             return np.array([0], dtype=np.int64)
         return np.array([self.type_to_id(t) for t in types], dtype=np.int64)
 
+    def to_list(self) -> List[str]:
+        """Return the id-ordered type list (for JSON round-tripping)."""
+        return list(self._types)
+
+    @classmethod
+    def from_list(cls, types: Sequence[str]) -> "TypeVocabulary":
+        """Rebuild a type vocabulary from :meth:`to_list` output."""
+        if not types or types[0] != cls.UNKNOWN:
+            raise DataError(
+                f"type list must start with the reserved '{cls.UNKNOWN}' entry"
+            )
+        return cls(types=list(types[1:]))
+
 
 class BagEncoder:
     """Convert :class:`Bag` objects into :class:`EncodedBag` arrays."""

@@ -66,6 +66,48 @@ class EvaluationResult:
         row.extend(self.precision_at.get(k, float("nan")) for k in p_at)
         return row
 
+    # ------------------------------------------------------------------ #
+    # Serialisation (used by repro.experiments.results)
+    # ------------------------------------------------------------------ #
+    def to_dict(self, include_curve: bool = True) -> Dict:
+        """JSON-encodable encoding of the metrics (records are not included)."""
+        payload: Dict = {
+            "model_name": self.model_name,
+            "auc": float(self.auc),
+            "precision": float(self.precision),
+            "recall": float(self.recall),
+            "f1": float(self.f1),
+            "precision_at": {str(k): float(v) for k, v in self.precision_at.items()},
+            "num_predictions": int(self.num_predictions),
+            "total_positives": int(self.total_positives),
+        }
+        if include_curve:
+            precision, recall = self.pr_curve
+            payload["pr_curve"] = {
+                "precision": np.asarray(precision, dtype=float).tolist(),
+                "recall": np.asarray(recall, dtype=float).tolist(),
+            }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "EvaluationResult":
+        """Rebuild an :class:`EvaluationResult` from :meth:`to_dict` output."""
+        curve = payload.get("pr_curve") or {"precision": [], "recall": []}
+        return cls(
+            model_name=payload["model_name"],
+            auc=float(payload["auc"]),
+            precision=float(payload["precision"]),
+            recall=float(payload["recall"]),
+            f1=float(payload["f1"]),
+            precision_at={int(k): float(v) for k, v in payload.get("precision_at", {}).items()},
+            pr_curve=(
+                np.asarray(curve["precision"], dtype=float),
+                np.asarray(curve["recall"], dtype=float),
+            ),
+            num_predictions=int(payload.get("num_predictions", 0)),
+            total_positives=int(payload.get("total_positives", 0)),
+        )
+
 
 class HeldOutEvaluator:
     """Evaluate predictors on a fixed set of encoded test bags."""

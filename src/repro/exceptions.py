@@ -7,7 +7,17 @@ class ReproError(Exception):
     """Base class for all errors raised by the reproduction library."""
 
 
-class ConfigurationError(ReproError):
+class UsageError(ReproError):
+    """The caller asked for something the library cannot do as requested.
+
+    Covers bad experiment/method names, invalid configuration values and
+    malformed CLI invocations — anything where the fix is "call it
+    differently", not "the data or code is broken".  The command-line
+    interface maps this family to exit code 2 (the argparse convention).
+    """
+
+
+class ConfigurationError(UsageError):
     """Raised when an experiment or model configuration is invalid."""
 
 
@@ -21,3 +31,7 @@ class GraphError(ReproError):
 
 class ModelError(ReproError):
     """Raised when a model is used incorrectly (e.g. predicting before training)."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a model checkpoint is missing, corrupt or incompatible."""

@@ -1,10 +1,19 @@
 """Experiment modules — one per table / figure of the paper's evaluation.
 
-Every module exposes a ``run(...)`` function returning plain data structures
-and a ``format_report(...)`` helper that renders the same rows/series the
-paper reports.  The benchmark harness under ``benchmarks/`` calls these
-functions; ``python -m repro.experiments.runner`` runs them from the command
-line.
+Every module exposes three layers:
+
+* ``run(...)`` — the raw computation, returning plain data structures, and
+  ``format_report(...)`` rendering the same rows/series the paper reports
+  (used directly by the benchmark harness under ``benchmarks/``);
+* ``run_experiment(context_or_profile=None, seed=None, **params)`` — the
+  uniform entry point registered in :mod:`repro.experiments.registry`,
+  returning a structured :class:`~repro.experiments.results.ExperimentResult`
+  (metrics + rendered report + provenance);
+* ``main(...)`` — a thin legacy shim that prints the report.
+
+``python -m repro run <experiment>`` (and the legacy
+``python -m repro.experiments.runner``) dispatch by name through the
+registry.
 
 =============  =======================================================
 module         reproduces
@@ -22,5 +31,23 @@ module         reproduces
 """
 
 from .pipeline import ExperimentContext, prepare_context, train_and_evaluate
+from .registry import (
+    ExperimentSpec,
+    available_experiments,
+    experiment,
+    experiment_specs,
+    get_experiment,
+)
+from .results import ExperimentResult
 
-__all__ = ["ExperimentContext", "prepare_context", "train_and_evaluate"]
+__all__ = [
+    "ExperimentContext",
+    "prepare_context",
+    "train_and_evaluate",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "experiment",
+    "available_experiments",
+    "experiment_specs",
+    "get_experiment",
+]

@@ -19,6 +19,9 @@ from ..graph.embeddings import train_entity_embeddings
 from ..graph.line import LineConfig
 from ..utils.tables import format_table
 from .pipeline import ExperimentContext, prepare_context, train_and_evaluate
+from .registry import experiment
+
+LINE_ORDERS: Sequence[str] = ("first", "second", "both")
 
 
 def run_line_order_ablation(
@@ -26,6 +29,7 @@ def run_line_order_ablation(
     profile: Optional[ScaleProfile] = None,
     seed: int = 0,
     context: Optional[ExperimentContext] = None,
+    orders: Sequence[str] = LINE_ORDERS,
 ) -> Dict[str, float]:
     """AUC of PA-MR with first-order-only, second-order-only and concatenated embeddings."""
     if context is None:
@@ -39,7 +43,7 @@ def run_line_order_ablation(
     results: Dict[str, float] = {}
     original_embeddings = context.entity_embeddings
     try:
-        for order in ("first", "second", "both"):
+        for order in orders:
             context.entity_embeddings = train_entity_embeddings(
                 context.proximity_graph, line_config, order=order
             )
@@ -88,16 +92,49 @@ def format_attention_report(results: Dict[str, EvaluationResult]) -> str:
     )
 
 
+@experiment(
+    name="ablations",
+    description="Ablations — LINE order contribution and attention vs. entity heads",
+    report_kind="analysis",
+    params={"dataset": "nyt", "line_orders": list(LINE_ORDERS)},
+)
+def run_experiment(
+    profile,
+    seed,
+    context=None,
+    dataset: str = "nyt",
+    line_orders: Sequence[str] = LINE_ORDERS,
+    include_line_order: bool = True,
+    include_attention: bool = True,
+):
+    """Uniform entry point: both ablations as (metrics, report).
+
+    ``include_line_order`` / ``include_attention`` let cheap smoke runs skip
+    one of the (training-heavy) halves; ``line_orders`` restricts how many
+    PA-MR retrainings the LINE ablation performs.
+    """
+    if context is None:
+        context = prepare_context(dataset, profile=profile, seed=seed)
+    metrics: Dict[str, object] = {"dataset": dataset}
+    sections = []
+    if include_line_order:
+        line_results = run_line_order_ablation(context=context, seed=seed, orders=line_orders)
+        metrics["line_order_auc"] = line_results
+        sections.append(format_line_order_report(line_results))
+    if include_attention:
+        attention_results = run_attention_ablation(context=context, seed=seed)
+        metrics["attention"] = {
+            label: result.to_dict(include_curve=False)
+            for label, result in attention_results.items()
+        }
+        sections.append(format_attention_report(attention_results))
+    return metrics, "\n\n".join(sections)
+
+
 def main(profile: Optional[ScaleProfile] = None, seed: int = 0) -> str:
-    context = prepare_context("nyt", profile=profile or ScaleProfile.small(), seed=seed)
-    report = "\n\n".join(
-        [
-            format_line_order_report(run_line_order_ablation(context=context, seed=seed)),
-            format_attention_report(run_attention_ablation(context=context, seed=seed)),
-        ]
-    )
-    print(report)
-    return report
+    result = run_experiment(profile, seed=seed)
+    print(result.report)
+    return result.report
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,6 +21,7 @@ from ..graph.embeddings import EntityEmbeddings
 from ..kb.generator import CASE_STUDY_LOCATED_IN
 from ..utils.tables import format_table
 from .pipeline import ExperimentContext, prepare_context
+from .registry import experiment
 
 DEFAULT_QUERIES: Sequence[str] = ("university_of_washington", "seattle")
 
@@ -118,10 +119,44 @@ def format_report(results: Dict[str, object]) -> str:
     return "\n\n".join(sections)
 
 
+@experiment(
+    name="case_study",
+    description="Table V / Figure 8 — nearest entities and analogous pairs in embedding space",
+    report_kind="analysis",
+    params={"queries": list(DEFAULT_QUERIES), "top_k": 10},
+)
+def run_experiment(
+    profile,
+    seed,
+    context=None,
+    queries: Sequence[str] = DEFAULT_QUERIES,
+    top_k: int = 10,
+):
+    """Uniform entry point: embedding-space case study as (metrics, report)."""
+    results = run(profile=profile, seed=seed, queries=queries, top_k=top_k, context=context)
+    neighbours: Dict[str, List[Tuple[str, float]]] = results["neighbours"]  # type: ignore[assignment]
+    analogous: List[Tuple[Tuple[str, str], float]] = results["analogous_pairs"]  # type: ignore[assignment]
+    projection: np.ndarray = results["projection"]  # type: ignore[assignment]
+    metrics = {
+        "neighbours": {
+            query: [[name, float(score)] for name, score in nearest]
+            for query, nearest in neighbours.items()
+        },
+        "analogous_pairs": [
+            [[head, tail], float(score)] for (head, tail), score in analogous
+        ],
+        "projection": {
+            "entities": list(results["projection_names"]),  # type: ignore[arg-type]
+            "coordinates": np.asarray(projection, dtype=float).tolist(),
+        },
+    }
+    return metrics, format_report(results)
+
+
 def main(profile: Optional[ScaleProfile] = None, seed: int = 0) -> str:
-    report = format_report(run(profile=profile, seed=seed))
-    print(report)
-    return report
+    result = run_experiment(profile, seed=seed)
+    print(result.report)
+    return result.report
 
 
 if __name__ == "__main__":  # pragma: no cover

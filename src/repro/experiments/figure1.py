@@ -20,6 +20,7 @@ from ..corpus.datasets import (
     pair_frequency_histogram,
 )
 from ..utils.tables import format_table
+from .registry import experiment
 
 DEFAULT_EDGES: Sequence[int] = (1, 2, 3, 5, 10, 20, 50)
 
@@ -83,10 +84,29 @@ def format_report(histograms: Dict[str, Dict[str, int]]) -> str:
     return "\n\n".join(lines)
 
 
+@experiment(
+    name="figure1",
+    description="Figure 1 — long tail of entity-pair training frequencies",
+    report_kind="figure",
+    params={"edges": list(DEFAULT_EDGES)},
+)
+def run_experiment(profile, seed, context=None, edges: Sequence[int] = DEFAULT_EDGES):
+    """Uniform entry point: pair-frequency histograms as (metrics, report)."""
+    bundles = {context.bundle.name: context.bundle} if context is not None else None
+    histograms = run(profile=profile, seed=seed, edges=edges, bundles=bundles)
+    metrics = {
+        "histograms": histograms,
+        "long_tail_fraction": {
+            name: long_tail_fraction(histogram) for name, histogram in histograms.items()
+        },
+    }
+    return metrics, format_report(histograms)
+
+
 def main(profile: Optional[ScaleProfile] = None, seed: int = 0) -> str:
-    report = format_report(run(profile=profile, seed=seed))
-    print(report)
-    return report
+    result = run_experiment(profile, seed=seed)
+    print(result.report)
+    return result.report
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,7 +14,8 @@ import numpy as np
 from ..config import ScaleProfile
 from ..eval.heldout import EvaluationResult
 from ..utils.tables import format_table
-from .pipeline import ExperimentContext
+from .pipeline import ExperimentContext, resolve_context_datasets
+from .registry import experiment
 from .table4 import TABLE4_METHODS, run as run_table4
 
 
@@ -76,10 +77,49 @@ def format_report(
     return "\n\n".join(sections)
 
 
+DEFAULT_RECALL_POINTS: Sequence[float] = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+@experiment(
+    name="figure4",
+    description="Figure 4 — precision at fixed recall levels (PR curves) per method",
+    report_kind="figure",
+    params={"datasets": ["nyt", "gds"], "methods": list(TABLE4_METHODS)},
+)
+def run_experiment(
+    profile,
+    seed,
+    context=None,
+    datasets: Optional[Sequence[str]] = None,
+    methods: Sequence[str] = TABLE4_METHODS,
+    recall_points: Sequence[float] = DEFAULT_RECALL_POINTS,
+):
+    """Uniform entry point: sampled PR curves as (metrics, report).
+
+    ``datasets`` resolves like :func:`repro.experiments.table4.run_experiment`.
+    """
+    datasets, contexts = resolve_context_datasets(context, datasets)
+    curves = run(datasets=datasets, methods=methods, profile=profile, seed=seed, contexts=contexts)
+    metrics = {
+        dataset: {
+            method: {
+                "num_points": int(len(precision)),
+                "precision_at_recall": [
+                    [float(target), float(value)]
+                    for target, value in sample_curve(precision, recall, recall_points)
+                ],
+            }
+            for method, (precision, recall) in method_curves.items()
+        }
+        for dataset, method_curves in curves.items()
+    }
+    return metrics, format_report(curves, recall_points)
+
+
 def main(profile: Optional[ScaleProfile] = None, seed: int = 0) -> str:
-    report = format_report(run(profile=profile, seed=seed))
-    print(report)
-    return report
+    result = run_experiment(profile, seed=seed)
+    print(result.report)
+    return result.report
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,6 +13,7 @@ from typing import Dict, Optional, Sequence
 from ..config import ScaleProfile
 from ..utils.tables import format_table
 from .pipeline import ExperimentContext, prepare_context, train_and_evaluate
+from .registry import experiment
 
 # Base models of Figure 5 and their augmented counterparts.
 FIGURE5_BASES: Sequence[str] = ("gru_att", "cnn_att", "pcnn", "pcnn_att")
@@ -74,10 +75,33 @@ def fraction_improved(results: Dict[str, Dict[str, float]]) -> float:
     return improved / len(results)
 
 
+@experiment(
+    name="figure5",
+    description="Figure 5 — AUC gain from +T/+MR components on every base model",
+    report_kind="figure",
+    params={"dataset": "nyt", "bases": list(FIGURE5_BASES)},
+)
+def run_experiment(
+    profile,
+    seed,
+    context=None,
+    dataset: str = "nyt",
+    bases: Sequence[str] = FIGURE5_BASES,
+):
+    """Uniform entry point: per-base improvement metrics and report."""
+    results = run(dataset=dataset, bases=bases, profile=profile, seed=seed, context=context)
+    metrics = {
+        "dataset": dataset,
+        "bases": results,
+        "fraction_improved": fraction_improved(results),
+    }
+    return metrics, format_report(results, dataset=dataset)
+
+
 def main(profile: Optional[ScaleProfile] = None, seed: int = 0, dataset: str = "nyt") -> str:
-    report = format_report(run(dataset=dataset, profile=profile, seed=seed), dataset=dataset)
-    print(report)
-    return report
+    result = run_experiment(profile, seed=seed, dataset=dataset)
+    print(result.report)
+    return result.report
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,6 +15,7 @@ from ..config import ScaleProfile
 from ..eval.buckets import bucket_f1_by_cooccurrence
 from ..utils.tables import format_table
 from .pipeline import ExperimentContext, prepare_context, train_and_evaluate
+from .registry import experiment
 
 
 def run(
@@ -69,10 +70,41 @@ def trend_is_upward(per_bucket_f1: Dict[str, float]) -> bool:
     return per_bucket_f1[buckets[-1]] >= per_bucket_f1[buckets[0]]
 
 
+@experiment(
+    name="figure6",
+    description="Figure 6 — F1 by unlabeled-corpus co-occurrence quantile",
+    report_kind="figure",
+    params={"dataset": "nyt", "methods": ["pcnn_att", "pa_tmr"], "num_buckets": 4},
+)
+def run_experiment(
+    profile,
+    seed,
+    context=None,
+    dataset: str = "nyt",
+    methods: Sequence[str] = ("pcnn_att", "pa_tmr"),
+    num_buckets: int = 4,
+):
+    """Uniform entry point: per-quantile F1 metrics and report."""
+    results = run(
+        dataset=dataset,
+        methods=methods,
+        num_buckets=num_buckets,
+        profile=profile,
+        seed=seed,
+        context=context,
+    )
+    metrics = {
+        "dataset": dataset,
+        "f1_by_quantile": results,
+        "trend_upward": {name: trend_is_upward(values) for name, values in results.items()},
+    }
+    return metrics, format_report(results, dataset=dataset)
+
+
 def main(profile: Optional[ScaleProfile] = None, seed: int = 0, dataset: str = "nyt") -> str:
-    report = format_report(run(dataset=dataset, profile=profile, seed=seed), dataset=dataset)
-    print(report)
-    return report
+    result = run_experiment(profile, seed=seed, dataset=dataset)
+    print(result.report)
+    return result.report
 
 
 if __name__ == "__main__":  # pragma: no cover

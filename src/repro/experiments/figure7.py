@@ -15,6 +15,7 @@ from ..config import ScaleProfile
 from ..eval.buckets import bucket_f1_by_sentence_count
 from ..utils.tables import format_table
 from .pipeline import ExperimentContext, prepare_context, train_and_evaluate
+from .registry import experiment
 
 DEFAULT_EDGES: Sequence[int] = (1, 2, 3, 5, 8)
 
@@ -69,10 +70,34 @@ def advantage_on_infrequent_pairs(
     return results[proposed][first] - results[baseline][first]
 
 
+@experiment(
+    name="figure7",
+    description="Figure 7 — F1 by number of training sentences per entity pair",
+    report_kind="figure",
+    params={"dataset": "nyt", "methods": ["pcnn_att", "pa_tmr"], "edges": list(DEFAULT_EDGES)},
+)
+def run_experiment(
+    profile,
+    seed,
+    context=None,
+    dataset: str = "nyt",
+    methods: Sequence[str] = ("pcnn_att", "pa_tmr"),
+    edges: Sequence[int] = DEFAULT_EDGES,
+):
+    """Uniform entry point: per-bucket F1 metrics and report."""
+    results = run(
+        dataset=dataset, methods=methods, edges=edges, profile=profile, seed=seed, context=context
+    )
+    metrics = {"dataset": dataset, "f1_by_sentence_count": results}
+    if len(methods) >= 2 and "pa_tmr" in results and "pcnn_att" in results:
+        metrics["advantage_on_infrequent_pairs"] = advantage_on_infrequent_pairs(results)
+    return metrics, format_report(results, dataset=dataset)
+
+
 def main(profile: Optional[ScaleProfile] = None, seed: int = 0, dataset: str = "nyt") -> str:
-    report = format_report(run(dataset=dataset, profile=profile, seed=seed), dataset=dataset)
-    print(report)
-    return report
+    result = run_experiment(profile, seed=seed, dataset=dataset)
+    print(result.report)
+    return result.report
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -277,6 +277,32 @@ def prepare_context(
     )
 
 
+def resolve_context_datasets(
+    context: Optional[ExperimentContext],
+    datasets: Optional[Sequence[str]],
+    default: Sequence[str] = ("nyt", "gds"),
+) -> Tuple[Tuple[str, ...], Optional[Dict[str, ExperimentContext]]]:
+    """Resolve the (datasets, contexts) pair for multi-dataset experiments.
+
+    A prebuilt context is only valid for the dataset it was built from, so
+    passing one restricts the run to that dataset; an explicit ``datasets``
+    list that names anything else is a contradiction and raises
+    :class:`ConfigurationError` (rather than silently narrowing the run —
+    the recorded provenance must match what actually ran).  ``datasets=None``
+    means "the default for this mode": ``default`` without a context, the
+    context's own dataset with one.
+    """
+    if context is None:
+        return tuple(datasets) if datasets is not None else tuple(default), None
+    key = "gds" if "gds" in context.dataset_name.lower() else "nyt"
+    if datasets is not None and tuple(datasets) != (key,):
+        raise ConfigurationError(
+            f"a prebuilt context serves only its own dataset ('{key}'); "
+            f"drop datasets={tuple(datasets)!r} or prepare contexts per dataset"
+        )
+    return (key,), {key: context}
+
+
 def train_and_evaluate(
     context: ExperimentContext,
     method_name: str,

@@ -1,0 +1,311 @@
+"""Declarative experiment registry.
+
+Every table/figure module registers one uniform entry point with the
+:func:`experiment` decorator::
+
+    @registry.experiment(
+        name="table4",
+        description="Table IV — AUC / P / R / F1 / P@N of all methods",
+        report_kind="table",
+    )
+    def run_experiment(profile, seed, context=None, **params):
+        ...
+        return metrics, report
+
+The decorated function always receives a resolved :class:`ScaleProfile`, an
+integer seed and an optional prebuilt
+:class:`~repro.experiments.pipeline.ExperimentContext`, and returns
+``(metrics, report)``.  The decorator wraps it into the public uniform shape
+
+    ``run_experiment(context_or_profile=None, seed=None, **params)
+    -> ExperimentResult``
+
+filling in provenance (profile name, seed, recorded params, configuration
+fingerprint, duration).  Drivers never hand-maintain a name->callable dict:
+:func:`run` dispatches by name, :func:`available_experiments` enumerates, and
+unknown names raise :class:`~repro.exceptions.ConfigurationError` listing the
+choices.
+"""
+
+from __future__ import annotations
+
+import functools
+import importlib
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..config import ScaleProfile
+from ..exceptions import ConfigurationError
+from ..utils.artifacts import ArtifactCache, content_key
+from .pipeline import ExperimentContext, set_default_cache
+from .results import ExperimentResult
+
+#: The experiment modules shipped with the library; imported lazily so that
+#: ``import repro`` stays cheap and registration happens exactly once.
+BUILTIN_MODULES: Tuple[str, ...] = (
+    "table2",
+    "table3",
+    "figure1",
+    "table4",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "case_study",
+    "ablations",
+)
+
+# The uniform inner signature: (profile, seed, context, **params) -> (metrics, report).
+ExperimentFn = Callable[..., Tuple[Dict[str, Any], str]]
+# The registered public signature: (context_or_profile, seed, **params) -> ExperimentResult.
+RegisteredFn = Callable[..., ExperimentResult]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one registered experiment."""
+
+    name: str
+    description: str
+    report_kind: str = "table"          # "table" | "figure" | "analysis"
+    default_params: Dict[str, Any] = field(default_factory=dict)
+    module: str = ""
+
+
+@dataclass(frozen=True)
+class RegisteredExperiment:
+    """A spec together with its uniform entry point."""
+
+    spec: ExperimentSpec
+    run: RegisteredFn
+
+
+_REGISTRY: Dict[str, RegisteredExperiment] = {}
+_builtins_loaded = False
+
+
+def _load_builtins() -> None:
+    """Import the shipped experiment modules so their decorators register."""
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    # Mark loaded only after every import succeeds: a failing module must
+    # surface its real import error on the next call too, not leave the
+    # registry silently partial.  Retrying is safe — successfully imported
+    # modules are cached by sys.modules, and a re-imported module replaces
+    # its own registry entries (same-module registration is idempotent).
+    for module in BUILTIN_MODULES:
+        importlib.import_module(f".{module}", package=__package__)
+    _builtins_loaded = True
+
+
+def _is_plain(value: Any) -> bool:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return True
+    if isinstance(value, (list, tuple)):
+        return all(_is_plain(item) for item in value)
+    if isinstance(value, dict):
+        return all(isinstance(k, str) and _is_plain(v) for k, v in value.items())
+    return False
+
+
+def _recorded_params(params: Dict[str, Any]) -> Dict[str, Any]:
+    """The JSON-encodable subset of the call parameters (tuples become lists).
+
+    Non-serialisable arguments (prebuilt contexts, dataset bundles, arrays)
+    are provenance-irrelevant plumbing, and ``None`` values mean "use the
+    experiment's default"; both are dropped from the record so it only names
+    choices the caller actually made.
+    """
+
+    def convert(value: Any) -> Any:
+        if isinstance(value, (list, tuple)):
+            return [convert(item) for item in value]
+        if isinstance(value, dict):
+            return {key: convert(item) for key, item in value.items()}
+        return value
+
+    return {
+        key: convert(value)
+        for key, value in params.items()
+        if value is not None and _is_plain(value)
+    }
+
+
+@contextmanager
+def _cache_scope(cache: Optional[ArtifactCache]) -> Iterator[None]:
+    """Temporarily install ``cache`` as the pipeline's default artifact cache."""
+    if cache is None:
+        yield
+        return
+    previous = set_default_cache(cache)
+    try:
+        yield
+    finally:
+        set_default_cache(previous)
+
+
+def experiment(
+    name: str,
+    description: str,
+    report_kind: str = "table",
+    params: Optional[Dict[str, Any]] = None,
+) -> Callable[[ExperimentFn], RegisteredFn]:
+    """Register an experiment's uniform entry point (decorator).
+
+    The decorated function must accept ``(profile, seed, context=None,
+    **params)`` and return ``(metrics, report)``; the registered wrapper
+    exposes the public ``(context_or_profile=None, seed=None, **params) ->
+    ExperimentResult`` shape described in the module docstring.
+    """
+
+    def decorate(fn: ExperimentFn) -> RegisteredFn:
+        spec = ExperimentSpec(
+            name=name,
+            description=description,
+            report_kind=report_kind,
+            default_params=dict(params or {}),
+            module=fn.__module__,
+        )
+
+        @functools.wraps(fn)
+        def wrapper(
+            context_or_profile: Any = None,
+            seed: Optional[int] = None,
+            **call_params: Any,
+        ) -> ExperimentResult:
+            # The profile and context may come positionally or as keywords
+            # (functools.wraps advertises the inner `(profile, seed,
+            # context=None, ...)` signature, so both spellings must work).
+            # Conflicting combinations are rejected rather than guessed at:
+            # the recorded provenance must match what actually ran.
+            context = call_params.pop("context", None)
+            profile = call_params.pop("profile", None)
+            if context is not None and not isinstance(context, ExperimentContext):
+                raise ConfigurationError(
+                    f"experiment '{name}' context= must be an ExperimentContext, "
+                    f"got {type(context).__name__}"
+                )
+            if profile is not None and not isinstance(profile, ScaleProfile):
+                raise ConfigurationError(
+                    f"experiment '{name}' profile= must be a ScaleProfile, "
+                    f"got {type(profile).__name__}"
+                )
+            if isinstance(context_or_profile, ExperimentContext):
+                if context is not None and context is not context_or_profile:
+                    raise ConfigurationError(
+                        f"experiment '{name}' received two different contexts "
+                        "(positional and context= keyword)"
+                    )
+                context = context_or_profile
+            elif isinstance(context_or_profile, ScaleProfile):
+                if profile is not None and asdict(profile) != asdict(context_or_profile):
+                    raise ConfigurationError(
+                        f"experiment '{name}' received two different profiles "
+                        "(positional and profile= keyword)"
+                    )
+                profile = context_or_profile
+            elif context_or_profile is not None:
+                raise ConfigurationError(
+                    f"experiment '{name}' expects a ScaleProfile or an "
+                    f"ExperimentContext, got {type(context_or_profile).__name__}"
+                )
+            if context is not None:
+                # A prebuilt context fixes the data the experiment runs on;
+                # an explicit profile/seed that disagrees with it would make
+                # the result claim a configuration that never ran.
+                if profile is not None and asdict(profile) != asdict(context.profile):
+                    raise ConfigurationError(
+                        f"experiment '{name}': the explicit profile conflicts "
+                        f"with the prebuilt context's '{context.profile.name}' profile"
+                    )
+                if seed is not None and int(seed) != int(context.seed):
+                    raise ConfigurationError(
+                        f"experiment '{name}': explicit seed {seed} conflicts "
+                        f"with the prebuilt context's seed {context.seed}"
+                    )
+                profile = context.profile
+                seed = context.seed
+            profile = profile or ScaleProfile.small()
+            if seed is None:
+                seed = 0
+            recorded = _recorded_params(call_params)
+            start = time.perf_counter()
+            metrics, report = fn(profile=profile, seed=seed, context=context, **call_params)
+            duration = time.perf_counter() - start
+            return ExperimentResult(
+                experiment=name,
+                profile=profile.name,
+                seed=int(seed),
+                params=recorded,
+                metrics=metrics,
+                report=report,
+                config_fingerprint=content_key(
+                    {
+                        "experiment": name,
+                        "profile": asdict(profile),
+                        "seed": int(seed),
+                        "params": recorded,
+                    }
+                ),
+                duration_seconds=duration,
+            )
+
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing.spec.module != spec.module:
+            raise ConfigurationError(
+                f"experiment '{name}' is already registered by {existing.spec.module}"
+            )
+        # Same module re-registering (e.g. a re-import after a failed first
+        # import) replaces its own entry rather than masking the real error.
+        _REGISTRY[name] = RegisteredExperiment(spec=spec, run=wrapper)
+        wrapper.spec = spec  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorate
+
+
+# ---------------------------------------------------------------------- #
+# Queries and dispatch
+# ---------------------------------------------------------------------- #
+def available_experiments() -> List[str]:
+    """Sorted names of every registered experiment."""
+    _load_builtins()
+    return sorted(_REGISTRY)
+
+
+def experiment_specs() -> List[ExperimentSpec]:
+    """Specs of every registered experiment, sorted by name."""
+    _load_builtins()
+    return [_REGISTRY[name].spec for name in sorted(_REGISTRY)]
+
+
+def get_experiment(name: str) -> RegisteredExperiment:
+    """Look up one registered experiment; unknown names list the choices."""
+    _load_builtins()
+    if name not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown experiment '{name}'; choose from {available_experiments()}"
+        )
+    return _REGISTRY[name]
+
+
+def run(
+    name: str,
+    context_or_profile: Any = None,
+    seed: Optional[int] = None,
+    cache: Optional[ArtifactCache] = None,
+    **params: Any,
+) -> ExperimentResult:
+    """Run one experiment by name through its uniform entry point.
+
+    ``context_or_profile`` may be a :class:`ScaleProfile`, a prebuilt
+    :class:`ExperimentContext` (reusing its dataset/graph/embeddings), or
+    ``None`` for the default small profile.  When ``cache`` is given it is
+    installed as the pipeline's artifact cache for the duration of the run.
+    """
+    entry = get_experiment(name)
+    with _cache_scope(cache):
+        return entry.run(context_or_profile, seed=seed, **params)

@@ -1,4 +1,9 @@
-"""Command-line runner for the experiment modules.
+"""Legacy command-line runner for the experiment modules.
+
+This entry point predates the subcommand CLI (``python -m repro run ...``,
+:mod:`repro.cli`) and is kept as a thin compatibility shim over the
+experiment registry (:mod:`repro.experiments.registry`).  New code should
+prefer the subcommand CLI; both share one implementation.
 
 Examples
 --------
@@ -10,6 +15,11 @@ Run everything at the tiny (test) scale with a fixed seed::
 
     python -m repro.experiments.runner --experiment all --profile tiny --seed 7
 
+Write machine-readable results instead of parsing text reports::
+
+    python -m repro.experiments.runner --experiment table4 --format json \
+        --output-dir results/
+
 Reuse cached proximity-graph / LINE / encoded-corpus artifacts across runs::
 
     python -m repro.experiments.runner --experiment table4 --cache-dir ~/.cache/repro
@@ -18,41 +28,23 @@ Reuse cached proximity-graph / LINE / encoded-corpus artifacts across runs::
 from __future__ import annotations
 
 import argparse
-from typing import Callable, Dict, Optional
+from typing import Optional
 
+from ..cli import PROFILES, apply_profile_overrides, execute_experiments
 from ..config import ScaleProfile
 from ..utils.artifacts import ArtifactCache
-from . import ablations, case_study, figure1, figure4, figure5, figure6, figure7, table2, table3, table4
-from .pipeline import set_default_cache
-
-PROFILES: Dict[str, Callable[[], ScaleProfile]] = {
-    "tiny": ScaleProfile.tiny,
-    "small": ScaleProfile.small,
-    "medium": ScaleProfile.medium,
-}
-
-EXPERIMENTS: Dict[str, Callable[..., str]] = {
-    "table2": table2.main,
-    "table3": lambda profile, seed: table3.main(profile),
-    "figure1": figure1.main,
-    "table4": table4.main,
-    "figure4": figure4.main,
-    "figure5": figure5.main,
-    "figure6": figure6.main,
-    "figure7": figure7.main,
-    "case_study": case_study.main,
-    "ablations": ablations.main,
-}
+from . import registry
 
 
 def run_experiment(name: str, profile: ScaleProfile, seed: int) -> str:
-    """Run one named experiment and return its report."""
-    if name not in EXPERIMENTS:
-        raise KeyError(f"unknown experiment '{name}'; choose from {sorted(EXPERIMENTS)}")
-    runner = EXPERIMENTS[name]
-    if name == "table3":
-        return runner(profile, seed)
-    return runner(profile=profile, seed=seed)
+    """Run one named experiment and return its rendered report.
+
+    Kept for backwards compatibility; dispatches through the registry's
+    uniform entry point, so every experiment (including ``table3``) accepts
+    the same ``(profile, seed)`` arguments.  Unknown names raise
+    :class:`~repro.exceptions.ConfigurationError` listing the choices.
+    """
+    return registry.run(name, profile, seed=seed).report
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -60,11 +52,22 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--experiment",
         default="table4",
-        choices=sorted(EXPERIMENTS) + ["all"],
+        choices=registry.available_experiments() + ["all"],
         help="which table/figure to regenerate",
     )
     parser.add_argument("--profile", default="small", choices=sorted(PROFILES))
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--format",
+        default="text",
+        choices=("text", "json"),
+        help="emit rendered text reports (default) or ExperimentResult JSON",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=None,
+        help="also write one result file per experiment into this directory",
+    )
     parser.add_argument(
         "--per-bag-training",
         action="store_true",
@@ -94,22 +97,21 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
 
     cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
-    previous_cache = set_default_cache(cache)
-    profile = PROFILES[args.profile]()
-    if args.per_bag_training:
-        profile.batched_training = False
-    if args.propagation_layers is not None:
-        profile.propagation_layers = args.propagation_layers
-    if args.propagation_alpha is not None:
-        profile.propagation_alpha = args.propagation_alpha
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    try:
-        for name in names:
-            print(f"\n===== {name} (profile={profile.name}, seed={args.seed}) =====")
-            run_experiment(name, profile, args.seed)
-    finally:
-        set_default_cache(previous_cache)
-    if cache is not None:
+    profile = apply_profile_overrides(
+        PROFILES[args.profile](),
+        per_bag_training=args.per_bag_training,
+        propagation_layers=args.propagation_layers,
+        propagation_alpha=args.propagation_alpha,
+    )
+    execute_experiments(
+        [args.experiment],
+        profile,
+        seed=args.seed,
+        cache=cache,
+        output_format=args.format,
+        output_dir=args.output_dir,
+    )
+    if cache is not None and args.format == "text":
         print(f"\nartifact cache: {cache.stats.as_dict()} at {cache.root}")
     return 0
 

@@ -12,6 +12,7 @@ from typing import Dict, Optional
 from ..config import ScaleProfile
 from ..corpus.datasets import DatasetBundle, build_synth_gds, build_synth_nyt, dataset_statistics
 from ..utils.tables import format_table
+from .registry import experiment
 
 # The statistics the paper reports for the real corpora (Table II), used by
 # EXPERIMENTS.md to compare shapes (our synthetic corpora are much smaller).
@@ -69,11 +70,27 @@ def format_report(statistics: Dict[str, Dict]) -> str:
     )
 
 
+@experiment(
+    name="table2",
+    description="Table II — dataset statistics of the synthetic NYT/GDS corpora",
+    report_kind="table",
+)
+def run_experiment(profile, seed, context=None):
+    """Uniform entry point: dataset statistics as (metrics, report).
+
+    A prebuilt context restricts the statistics to its own dataset bundle;
+    otherwise both synthetic bundles are generated from the profile.
+    """
+    bundles = {context.bundle.name: context.bundle} if context is not None else None
+    statistics = run(profile=profile, seed=seed, bundles=bundles)
+    return {"statistics": statistics}, format_report(statistics)
+
+
 def main(profile: Optional[ScaleProfile] = None, seed: int = 0) -> str:
-    """Run the experiment and return the printed report."""
-    report = format_report(run(profile=profile, seed=seed))
-    print(report)
-    return report
+    """Run the experiment and return the printed report (legacy shim)."""
+    result = run_experiment(profile, seed=seed)
+    print(result.report)
+    return result.report
 
 
 if __name__ == "__main__":  # pragma: no cover

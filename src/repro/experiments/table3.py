@@ -11,6 +11,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..config import ModelConfig, ScaleProfile
 from ..utils.tables import format_table
+from .registry import experiment
 
 # (symbol, description, ModelConfig attribute) in the order of Table III.
 TABLE3_ROWS: List[Tuple[str, str, str]] = [
@@ -27,8 +28,13 @@ TABLE3_ROWS: List[Tuple[str, str, str]] = [
 ]
 
 
-def run(profile: Optional[ScaleProfile] = None) -> Dict[str, Dict[str, float]]:
-    """Return the paper's settings and the profile-scaled settings side by side."""
+def run(profile: Optional[ScaleProfile] = None, seed: int = 0) -> Dict[str, Dict[str, float]]:
+    """Return the paper's settings and the profile-scaled settings side by side.
+
+    The settings themselves are deterministic functions of the profile;
+    ``seed`` is accepted (and recorded by the uniform entry point) so table3
+    reruns carry the same provenance as every other experiment.
+    """
     paper = ModelConfig.paper_defaults()
     scaled = (profile or ScaleProfile.small()).model_config()
     return {
@@ -51,10 +57,22 @@ def format_report(settings: Dict[str, Dict[str, float]]) -> str:
     )
 
 
-def main(profile: Optional[ScaleProfile] = None) -> str:
-    report = format_report(run(profile))
-    print(report)
-    return report
+@experiment(
+    name="table3",
+    description="Table III — hyper-parameter settings (paper values vs. this run)",
+    report_kind="table",
+)
+def run_experiment(profile, seed, context=None):
+    """Uniform entry point: parameter settings as (metrics, report)."""
+    settings = run(profile, seed=seed)
+    return {"settings": settings}, format_report(settings)
+
+
+def main(profile: Optional[ScaleProfile] = None, seed: int = 0) -> str:
+    """Print and return the Table III report (legacy shim; seed is recorded)."""
+    result = run_experiment(profile, seed=seed)
+    print(result.report)
+    return result.report
 
 
 if __name__ == "__main__":  # pragma: no cover

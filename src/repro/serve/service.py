@@ -150,6 +150,33 @@ class PredictionService:
             batch_size=batch_size,
         )
 
+    @classmethod
+    def from_checkpoint(cls, path, batch_size: int = 32) -> "PredictionService":
+        """Cold-start a service from a checkpoint directory.
+
+        The checkpoint must have been saved with its serving components
+        (``NeuralREModel.save(path, encoder=..., schema=..., kb=...)``, which
+        is what ``python -m repro train --checkpoint ...`` does); its
+        predictions are bit-identical to the model that was saved.  See
+        :mod:`repro.utils.checkpoint` for the format.
+        """
+        from ..exceptions import CheckpointError
+        from ..utils.checkpoint import load_checkpoint
+
+        checkpoint = load_checkpoint(path)
+        if checkpoint.encoder is None or checkpoint.schema is None:
+            raise CheckpointError(
+                f"checkpoint {path} has no serving components; save it with "
+                "encoder= and schema= (or via 'python -m repro train') to serve it"
+            )
+        return cls(
+            model=checkpoint.model,
+            encoder=checkpoint.encoder,
+            schema=checkpoint.schema,
+            kb=checkpoint.kb,
+            batch_size=batch_size,
+        )
+
     # ------------------------------------------------------------------ #
     # Request encoding
     # ------------------------------------------------------------------ #

@@ -1,6 +1,6 @@
 """Training harness for the bag-level relation extraction models."""
 
 from .trainer import Trainer, TrainingResult
-from .callbacks import EarlyStopping, LossHistory
+from .callbacks import CheckpointCallback, EarlyStopping, LossHistory
 
-__all__ = ["Trainer", "TrainingResult", "EarlyStopping", "LossHistory"]
+__all__ = ["Trainer", "TrainingResult", "CheckpointCallback", "EarlyStopping", "LossHistory"]

@@ -1,9 +1,10 @@
-"""Training callbacks: loss tracking and early stopping."""
+"""Training callbacks: loss tracking, early stopping and checkpointing."""
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Union
 
 
 class LossHistory:
@@ -57,3 +58,45 @@ class EarlyStopping:
             return False
         self.bad_epochs += 1
         return self.bad_epochs >= self.patience
+
+
+class CheckpointCallback:
+    """Save versioned model checkpoints during training.
+
+    Pass an instance to :meth:`repro.training.Trainer.fit`; after every
+    ``every``-th epoch the model is written to
+    ``<directory>/epoch-<n>`` (:mod:`repro.utils.checkpoint` format), and —
+    with ``keep_best`` — whenever the epoch loss improves, to
+    ``<directory>/best`` as well.  Checkpoints written mid-training are
+    model-only (no encoder/schema); attach the serving components with
+    :meth:`repro.core.NeuralREModel.save` once training is done.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        every: int = 1,
+        keep_best: bool = True,
+    ) -> None:
+        if every < 1:
+            raise ValueError("every must be at least 1")
+        self.directory = Path(directory)
+        self.every = every
+        self.keep_best = keep_best
+        self.best_loss = float("inf")
+        self.saved_paths: List[Path] = []
+        self.best_path: Optional[Path] = None
+
+    def on_epoch_end(self, model, epoch: int, epoch_loss: float) -> Optional[Path]:
+        """Checkpoint ``model`` after epoch ``epoch`` (1-based); returns the path."""
+        from ..utils.checkpoint import save_checkpoint
+
+        path: Optional[Path] = None
+        metadata = {"epoch": epoch, "epoch_loss": float(epoch_loss)}
+        if epoch % self.every == 0:
+            path = save_checkpoint(self.directory / f"epoch-{epoch}", model, metadata=metadata)
+            self.saved_paths.append(path)
+        if self.keep_best and math.isfinite(epoch_loss) and epoch_loss < self.best_loss:
+            self.best_loss = float(epoch_loss)
+            self.best_path = save_checkpoint(self.directory / "best", model, metadata=metadata)
+        return path

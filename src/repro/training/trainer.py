@@ -27,7 +27,7 @@ from ..corpus.loader import BatchIterator
 from ..exceptions import ConfigurationError
 from ..nn import functional as F
 from ..utils.logging import get_logger
-from .callbacks import EarlyStopping, LossHistory
+from .callbacks import CheckpointCallback, EarlyStopping, LossHistory
 
 logger = get_logger("training")
 
@@ -131,8 +131,15 @@ class Trainer:
         self,
         train_bags: Sequence[EncodedBag],
         early_stopping: Optional[EarlyStopping] = None,
+        checkpoint: Optional[CheckpointCallback] = None,
     ) -> TrainingResult:
-        """Train for the configured number of epochs."""
+        """Train for the configured number of epochs.
+
+        ``checkpoint`` (a :class:`~repro.training.callbacks.CheckpointCallback`)
+        saves the model after each epoch; diverged epochs are never
+        checkpointed, so the newest saved checkpoint always holds finite
+        parameters.
+        """
         if not train_bags:
             raise ConfigurationError("no training bags provided")
         history = LossHistory()
@@ -168,6 +175,8 @@ class Trainer:
             logger.debug("epoch %d mean loss %.4f", epoch + 1, epoch_loss)
             if diverged:
                 break
+            if checkpoint is not None:
+                checkpoint.on_epoch_end(self.model, epoch + 1, epoch_loss)
             if early_stopping is not None and early_stopping.should_stop(epoch_loss):
                 stopped_early = True
                 break

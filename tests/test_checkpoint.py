@@ -1,0 +1,173 @@
+"""Tests for the versioned checkpoint format (:mod:`repro.utils.checkpoint`).
+
+The central contract: a model saved to a checkpoint and loaded in a fresh
+service reproduces the in-process predictions *bit-exactly*, for every
+encoder/aggregator/head variant the factories can build.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.core.model import NeuralREModel
+from repro.exceptions import CheckpointError
+from repro.experiments.pipeline import train_and_evaluate
+from repro.serve import PredictionService
+from repro.training import CheckpointCallback, Trainer
+from repro.training.trainer import TrainingResult
+from repro.utils.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    MANIFEST_FILE,
+    SCHEMA_FILE,
+    WEIGHTS_FILE,
+    load_checkpoint,
+    read_manifest,
+    save_checkpoint,
+)
+
+# Every encoder (cnn/pcnn/gru), aggregator (avg/att/word-att) and head
+# (none/T/MR/TMR) combination the registry builds for the paper's tables.
+VARIANT_METHODS = ["pa_tmr", "pa_t", "pa_mr", "pcnn_att", "pcnn", "cnn_att", "gru_att", "bgwa"]
+
+
+def _save_full(context, model, path):
+    return model.save(
+        path,
+        encoder=context.bag_encoder,
+        schema=context.bundle.schema,
+        kb=context.bundle.kb,
+        metadata={"source": "test"},
+    )
+
+
+class TestSaveLoadServeParity:
+    @pytest.mark.parametrize("method_name", VARIANT_METHODS)
+    def test_cold_start_predictions_bit_equal(self, nyt_context, method_name, tmp_path):
+        method, _ = train_and_evaluate(nyt_context, method_name)
+        model = method.model
+        path = _save_full(nyt_context, model, tmp_path / "ckpt")
+
+        warm = PredictionService.from_context(nyt_context, model)
+        cold = PredictionService.from_checkpoint(path)
+        bags = nyt_context.test_encoded[:24]
+        np.testing.assert_array_equal(
+            warm.predict_encoded(bags), cold.predict_encoded(bags)
+        )
+
+    @pytest.mark.parametrize("method_name", ["pa_tmr", "gru_att"])
+    def test_model_load_bit_equal(self, nyt_context, method_name, tmp_path):
+        method, _ = train_and_evaluate(nyt_context, method_name)
+        model = method.model
+        model.save(tmp_path / "ckpt")  # model-only checkpoint
+        loaded = NeuralREModel.load(tmp_path / "ckpt")
+        assert loaded.describe() == model.describe()
+        for bag in nyt_context.test_encoded[:8]:
+            np.testing.assert_array_equal(
+                model.predict_probabilities(bag), loaded.predict_probabilities(bag)
+            )
+
+    def test_checkpoint_carries_schema_and_kb(self, nyt_context, tmp_path):
+        method, _ = train_and_evaluate(nyt_context, "pa_tmr")
+        path = _save_full(nyt_context, method.model, tmp_path / "ckpt")
+        checkpoint = load_checkpoint(path)
+        assert checkpoint.schema.relation_names == nyt_context.bundle.schema.relation_names
+        assert checkpoint.kb.num_entities == nyt_context.bundle.kb.num_entities
+        assert checkpoint.kb.num_triples == nyt_context.bundle.kb.num_triples
+        assert checkpoint.encoder.max_sentence_length == nyt_context.bag_encoder.max_sentence_length
+        assert checkpoint.metadata["source"] == "test"
+
+
+class TestErrorPaths:
+    @pytest.fixture()
+    def saved(self, nyt_context, tmp_path):
+        method, _ = train_and_evaluate(nyt_context, "pa_tmr")
+        return _save_full(nyt_context, method.model, tmp_path / "ckpt")
+
+    def test_not_a_checkpoint(self, tmp_path):
+        with pytest.raises(CheckpointError, match="not a checkpoint"):
+            load_checkpoint(tmp_path)
+
+    def test_version_mismatch_rejected(self, saved):
+        manifest = json.loads((saved / MANIFEST_FILE).read_text())
+        manifest["format_version"] = CHECKPOINT_FORMAT_VERSION + 1
+        (saved / MANIFEST_FILE).write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError, match="format version"):
+            load_checkpoint(saved)
+
+    def test_corrupt_weights_rejected(self, saved):
+        data = bytearray((saved / WEIGHTS_FILE).read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        (saved / WEIGHTS_FILE).write_bytes(bytes(data))
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(saved)
+
+    def test_missing_member_rejected(self, saved):
+        (saved / SCHEMA_FILE).unlink()
+        with pytest.raises(CheckpointError, match="missing"):
+            load_checkpoint(saved)
+
+    def test_truncated_manifest_rejected(self, saved):
+        (saved / MANIFEST_FILE).write_text('{"format_version": 1')
+        with pytest.raises(CheckpointError, match="corrupt"):
+            read_manifest(saved)
+
+    def test_model_only_checkpoint_cannot_serve(self, nyt_context, tmp_path):
+        method, _ = train_and_evaluate(nyt_context, "pcnn_att")
+        method.model.save(tmp_path / "ckpt")
+        with pytest.raises(CheckpointError, match="serving components"):
+            PredictionService.from_checkpoint(tmp_path / "ckpt")
+
+    def test_only_neural_re_models_are_checkpointable(self, nyt_context, tmp_path):
+        method, _ = train_and_evaluate(nyt_context, "mintz")
+        with pytest.raises(CheckpointError, match="NeuralREModel"):
+            save_checkpoint(tmp_path / "ckpt", method)
+
+    def test_mismatched_serving_components_rejected_at_save(
+        self, nyt_context, gds_bundle, tmp_path
+    ):
+        """A GDS encoder/schema must not be saved with an NYT-trained model."""
+        from repro.corpus.loader import BagEncoder
+
+        method, _ = train_and_evaluate(nyt_context, "pcnn_att")
+        model = method.model
+        wrong_encoder = BagEncoder(gds_bundle.vocabulary, max_sentence_length=25)
+        with pytest.raises(CheckpointError, match="vocabulary"):
+            model.save(tmp_path / "ckpt", encoder=wrong_encoder)
+        with pytest.raises(CheckpointError, match="relations"):
+            model.save(tmp_path / "ckpt", schema=gds_bundle.schema)
+
+
+class TestTrainerCheckpointCallback:
+    def test_epoch_and_best_checkpoints(self, nyt_context, tmp_path):
+        from repro.core.variants import build_model
+
+        rng = np.random.default_rng(0)
+        model = build_model(
+            "pcnn", nyt_context.vocab_size, nyt_context.num_relations,
+            config=nyt_context.model_config, rng=rng,
+        )
+        trainer = Trainer(
+            model,
+            num_relations=nyt_context.num_relations,
+            config=TrainingConfig(
+                epochs=2, batch_size=8, learning_rate=0.01, optimizer="adam", seed=0
+            ),
+        )
+        callback = CheckpointCallback(tmp_path / "ckpts", every=1)
+        result = trainer.fit(nyt_context.train_encoded[:24], checkpoint=callback)
+        assert isinstance(result, TrainingResult)
+        assert len(callback.saved_paths) == result.epochs_run
+        assert callback.best_path is not None
+        loaded = NeuralREModel.load(callback.best_path)
+        manifest = read_manifest(callback.best_path)
+        assert "epoch_loss" in manifest["metadata"]
+        bag = nyt_context.test_encoded[0]
+        assert loaded.predict_probabilities(bag).shape == (nyt_context.num_relations,)
+
+    def test_bad_interval_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointCallback(tmp_path, every=0)

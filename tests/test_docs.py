@@ -20,12 +20,13 @@ class TestDocsPresence:
         assert (REPO_ROOT / "README.md").exists()
         assert (REPO_ROOT / "docs" / "architecture.md").exists()
         assert (REPO_ROOT / "docs" / "serving.md").exists()
+        assert (REPO_ROOT / "docs" / "api.md").exists()
         assert (SCRIPTS / "smoke_docs.py").exists()
 
     def test_readme_indexes_every_experiment_module(self):
         readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
         experiments_dir = REPO_ROOT / "src" / "repro" / "experiments"
-        skip = {"__init__", "pipeline", "runner"}
+        skip = {"__init__", "pipeline", "runner", "registry", "results"}
         for module in sorted(experiments_dir.glob("*.py")):
             if module.stem in skip:
                 continue
@@ -50,7 +51,7 @@ class TestCodeBlockExtraction:
         assert blocks == ["x = 1\n"]
 
     def test_every_document_has_executable_blocks(self):
-        for name in ("README.md", "docs/architecture.md", "docs/serving.md"):
+        for name in ("README.md", "docs/architecture.md", "docs/serving.md", "docs/api.md"):
             text = (REPO_ROOT / name).read_text(encoding="utf-8")
             assert extract_python_blocks(text), f"{name} has no executable python blocks"
 

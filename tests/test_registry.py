@@ -1,0 +1,227 @@
+"""Tests for the experiment registry and structured results.
+
+The smoke test runs *every* registered experiment through the uniform entry
+point at the tiny profile (reusing the session context and cheap method
+subsets), so any future signature drift between a module and the registry
+breaks here rather than in a long benchmark run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import ScaleProfile
+from repro.exceptions import ConfigurationError, DataError
+from repro.experiments import registry
+from repro.experiments.results import RESULT_FORMAT_VERSION, ExperimentResult
+
+# Cheap per-experiment parameters for the tiny-scale smoke run.  Experiments
+# that accept a prebuilt context reuse the shared session context; method
+# lists are cut down to fast methods (the context's per-method cache makes
+# repeats free).
+SMOKE_PARAMS = {
+    "table2": {},
+    "table3": {},
+    "figure1": {},
+    "table4": {"methods": ("mintz",)},
+    "figure4": {"methods": ("mintz",)},
+    "figure5": {"bases": ("pcnn",)},
+    "figure6": {"methods": ("mintz",), "num_buckets": 2},
+    "figure7": {"methods": ("mintz",), "edges": (1, 2)},
+    "case_study": {"top_k": 3},
+    "ablations": {"line_orders": ("both",)},
+}
+
+
+class TestRegistry:
+    def test_all_builtins_registered(self):
+        names = registry.available_experiments()
+        assert set(names) == set(registry.BUILTIN_MODULES)
+        assert names == sorted(names)
+
+    def test_specs_describe_every_experiment(self):
+        for spec in registry.experiment_specs():
+            assert spec.name and spec.description
+            assert spec.report_kind in ("table", "figure", "analysis")
+            assert spec.module.startswith("repro.experiments.")
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ConfigurationError, match="table4"):
+            registry.get_experiment("table99")
+        with pytest.raises(ConfigurationError, match="unknown experiment"):
+            registry.run("table99", ScaleProfile.tiny())
+
+    def test_bad_context_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="ScaleProfile"):
+            registry.run("table3", "tiny")
+
+    def test_profile_keyword_is_accepted(self):
+        # help()/inspect show the inner `(profile, seed, ...)` signature, so
+        # profile= must work as a keyword and agree with the positional form.
+        from repro.experiments import table3
+
+        by_keyword = table3.run_experiment(profile=ScaleProfile.tiny(), seed=2)
+        positional = table3.run_experiment(ScaleProfile.tiny(), seed=2)
+        assert by_keyword.config_fingerprint == positional.config_fingerprint
+        with pytest.raises(ConfigurationError, match="profile"):
+            registry.run("table3", profile="tiny")
+
+    def test_context_conflicting_profile_or_seed_rejected(self, nyt_context):
+        # Provenance must match what ran: a context fixes profile and seed.
+        with pytest.raises(ConfigurationError, match="profile"):
+            registry.run("table2", nyt_context, profile=ScaleProfile.medium())
+        with pytest.raises(ConfigurationError, match="seed"):
+            registry.run("table2", nyt_context, seed=nyt_context.seed + 1)
+        # Explicit-but-consistent values are fine.
+        consistent = registry.run("table2", nyt_context, seed=nyt_context.seed)
+        assert consistent.seed == nyt_context.seed
+
+    def test_reregistration_is_idempotent_per_module(self, monkeypatch):
+        registry.available_experiments()  # ensure builtins are loaded
+        monkeypatch.setattr(registry, "_REGISTRY", dict(registry._REGISTRY))
+
+        def replacement(profile, seed, context=None):
+            return {}, "replaced"
+
+        # A re-import of the owning module replaces its own entry silently
+        # (this is what happens when a module's first import failed halfway).
+        replacement.__module__ = registry.get_experiment("table2").spec.module
+        registry.experiment(name="table2", description="again")(replacement)
+        assert registry.get_experiment("table2").spec.description == "again"
+        # A different module claiming the same name is still an error.
+        def intruder(profile, seed, context=None):
+            return {}, ""
+
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.experiment(name="table3", description="x")(intruder)
+
+    def test_context_keyword_is_accepted(self, nyt_context):
+        # The inner functions advertise context=, so the wrapper must accept
+        # it as a keyword too (and agree with the positional form).
+        by_keyword = registry.run("table2", context=nyt_context)
+        positional = registry.run("table2", nyt_context)
+        assert by_keyword.metrics == positional.metrics
+        assert by_keyword.seed == nyt_context.seed
+        # Redundant but consistent context args are fine; conflicting ones not.
+        registry.run("table2", nyt_context, context=nyt_context)
+        with pytest.raises(ConfigurationError, match="context"):
+            registry.run("table2", nyt_context, context="nope")
+
+    def test_context_with_conflicting_datasets_rejected(self, nyt_context):
+        # Silently narrowing a two-dataset request to the context's dataset
+        # would record provenance for a run that never happened.
+        with pytest.raises(ConfigurationError, match="own dataset"):
+            registry.run("table4", nyt_context, datasets=("nyt", "gds"), methods=("mintz",))
+        result = registry.run("table4", nyt_context, datasets=("nyt",), methods=("mintz",))
+        assert list(result.metrics) == ["nyt"]
+        # datasets=None (the default) is not recorded as an explicit param.
+        implicit = registry.run("table4", nyt_context, methods=("mintz",))
+        assert "datasets" not in implicit.params
+
+    def test_session_run_accepts_prepared_context(self, nyt_context):
+        from repro.api import Session
+
+        session = Session(profile=nyt_context.profile)
+        result = session.run("table2", context=nyt_context)
+        assert result.profile == "tiny"
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", sorted(SMOKE_PARAMS))
+    def test_every_experiment_runs_through_uniform_entry(self, name, nyt_context):
+        """Signature-drift canary: every experiment at tiny scale, end to end."""
+        assert name in registry.available_experiments()
+        result = registry.run(name, nyt_context, **SMOKE_PARAMS[name])
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment == name
+        assert result.profile == "tiny"
+        assert result.seed == nyt_context.seed
+        assert result.report.strip()
+        assert result.metrics
+        assert result.config_fingerprint
+        assert result.duration_seconds >= 0
+        # Metrics must survive a JSON round trip losslessly.
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.metrics == result.metrics
+        assert restored.report == result.report
+        assert restored.config_fingerprint == result.config_fingerprint
+
+    def test_smoke_params_cover_every_registered_experiment(self):
+        assert set(SMOKE_PARAMS) == set(registry.available_experiments())
+
+
+class TestExperimentResult:
+    def test_fingerprint_depends_on_configuration(self):
+        a = registry.run("table3", ScaleProfile.tiny(), seed=0)
+        b = registry.run("table3", ScaleProfile.tiny(), seed=0)
+        c = registry.run("table3", ScaleProfile.tiny(), seed=1)
+        d = registry.run("table3", ScaleProfile.small(), seed=0)
+        assert a.config_fingerprint == b.config_fingerprint
+        assert a.config_fingerprint != c.config_fingerprint
+        assert a.config_fingerprint != d.config_fingerprint
+
+    def test_save_and_load(self, tmp_path):
+        result = registry.run("table3", ScaleProfile.tiny())
+        path = result.save(tmp_path / "nested" / "table3.json")
+        loaded = ExperimentResult.load(path)
+        assert loaded.to_dict() == result.to_dict()
+
+    def test_future_format_version_rejected(self):
+        result = registry.run("table3", ScaleProfile.tiny())
+        payload = result.to_dict()
+        payload["format_version"] = RESULT_FORMAT_VERSION + 1
+        with pytest.raises(DataError, match="format version"):
+            ExperimentResult.from_dict(payload)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        with pytest.raises(DataError):
+            ExperimentResult.from_json("{not json")
+        with pytest.raises(DataError):
+            ExperimentResult.load(tmp_path / "missing.json")
+        with pytest.raises(DataError):
+            ExperimentResult.from_dict({"profile": "tiny"})
+        # Truncated payloads (required fields missing) are DataError too,
+        # never a bare TypeError.
+        with pytest.raises(DataError, match="incomplete"):
+            ExperimentResult.from_json('{"experiment": "table4"}')
+
+    def test_non_finite_metrics_serialise_as_strict_json(self):
+        result = ExperimentResult(
+            experiment="demo",
+            profile="tiny",
+            seed=0,
+            metrics={"f1": float("nan"), "curve": [1.0, float("inf"), 0.5]},
+        )
+        text = result.to_json()
+        assert "NaN" not in text and "Infinity" not in text
+        # Must parse under a strict parser (no NaN/Infinity constants).
+        payload = json.loads(
+            text, parse_constant=lambda token: pytest.fail(f"non-strict token {token}")
+        )
+        assert payload["metrics"]["f1"] is None
+        assert payload["metrics"]["curve"] == [1.0, None, 0.5]
+
+    def test_non_serialisable_params_are_dropped(self, nyt_context):
+        result = registry.run("table2", nyt_context)
+        assert "context" not in result.params
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.params == result.params
+
+
+class TestEvaluationResultRoundTrip:
+    def test_to_from_dict(self, trained_pcnn_att):
+        _, evaluation = trained_pcnn_att
+        payload = evaluation.to_dict()
+        restored = type(evaluation).from_dict(payload)
+        assert restored.model_name == evaluation.model_name
+        assert restored.auc == pytest.approx(evaluation.auc)
+        assert restored.precision_at == evaluation.precision_at
+        assert restored.pr_curve[0].shape == evaluation.pr_curve[0].shape
+
+    def test_curve_optional(self, trained_pcnn_att):
+        _, evaluation = trained_pcnn_att
+        payload = evaluation.to_dict(include_curve=False)
+        assert "pr_curve" not in payload
+        restored = type(evaluation).from_dict(payload)
+        assert restored.pr_curve[0].size == 0
