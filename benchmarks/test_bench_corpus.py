@@ -1,0 +1,150 @@
+"""Benchmark for the array-native corpus engine (:mod:`repro.corpus.store`).
+
+The claim measured: encoding a corpus into the columnar
+:class:`~repro.corpus.store.CorpusStore` (one bulk ``Vocabulary.encode_array``
+over every token, vectorized position/segment features) must reach at least
+3x the throughput of the seed per-bag encoder loop
+(``BagEncoder.encode_all``), and assembling merged mini-batches by slicing
+the store's offsets (``merge_store_batch``) must beat re-padding per-bag
+object lists (``merge_encoded_bags``).
+
+Before any timing, the two paths are checked for parity: every store view
+must equal its per-bag twin exactly, and sampled merged batches must be
+array-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.batch.merging import merge_encoded_bags, merge_store_batch
+from repro.corpus.loader import BagEncoder
+from repro.utils.tables import format_table
+
+from conftest import SEED, write_report
+
+MIN_ENCODE_SPEEDUP = 3.0
+
+# Replicate the bundle's training bags so the encode benchmark runs at a
+# corpus-like bag count even on the small synthetic profile.
+_TARGET_BAGS = {"tiny": 1_000, "small": 6_000, "medium": 12_000}
+TARGET_BAGS = _TARGET_BAGS.get(
+    os.environ.get("REPRO_BENCH_PROFILE", "small").lower(), _TARGET_BAGS["small"]
+)
+
+BATCH_SIZE = 32
+TIMING_REPEATS = 3
+
+
+def _bench_corpus(nyt_ctx):
+    bags = list(nyt_ctx.bundle.train.bags)
+    repeats = max(1, -(-TARGET_BAGS // len(bags)))
+    return (bags * repeats)[:TARGET_BAGS]
+
+
+def _best_of(fn, repeats=TIMING_REPEATS):
+    best, value = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def test_corpus_engine_throughput(nyt_ctx, benchmark):
+    bags = _bench_corpus(nyt_ctx)
+    encoder = BagEncoder(
+        nyt_ctx.bundle.vocabulary,
+        max_sentence_length=25,
+        max_position_distance=nyt_ctx.bag_encoder.max_position_distance,
+        max_sentences_per_bag=6,
+    )
+
+    # ------------------------------------------------------------------ #
+    # Stage 1: encode-all throughput (per-bag loop vs vectorized store)
+    # ------------------------------------------------------------------ #
+    legacy_seconds, legacy = _best_of(lambda: encoder.encode_all(bags))
+    store_seconds, store = _best_of(lambda: encoder.encode_store(bags))
+
+    # Parity first — throughput without identical arrays would be meaningless.
+    assert len(store) == len(legacy)
+    rng = np.random.default_rng(SEED)
+    for index in rng.choice(len(store), size=min(200, len(store)), replace=False):
+        view = store.bag(int(index))
+        expected = legacy[int(index)]
+        assert view.label == expected.label
+        np.testing.assert_array_equal(view.token_ids, expected.token_ids)
+        np.testing.assert_array_equal(view.segment_ids, expected.segment_ids)
+        np.testing.assert_array_equal(view.mask, expected.mask)
+        np.testing.assert_array_equal(view.head_position_ids, expected.head_position_ids)
+
+    # ------------------------------------------------------------------ #
+    # Stage 2: batch assembly (object-list re-padding vs offset slicing)
+    # ------------------------------------------------------------------ #
+    order = rng.permutation(len(store))
+    batches = [
+        order[start:start + BATCH_SIZE]
+        for start in range(0, len(order), BATCH_SIZE)
+    ]
+
+    def _legacy_epoch():
+        for indices in batches:
+            merge_encoded_bags([legacy[int(i)] for i in indices])
+
+    def _store_epoch():
+        for indices in batches:
+            merge_store_batch(store, indices)
+
+    legacy_batch_seconds, _ = _best_of(_legacy_epoch)
+    store_batch_seconds, _ = _best_of(_store_epoch)
+
+    sample = batches[len(batches) // 2]
+    from_store = merge_store_batch(store, sample)
+    from_list = merge_encoded_bags([legacy[int(i)] for i in sample])
+    np.testing.assert_array_equal(from_store.merged.token_ids, from_list.merged.token_ids)
+    np.testing.assert_array_equal(from_store.merged.mask, from_list.merged.mask)
+    np.testing.assert_array_equal(from_store.labels, from_list.labels)
+
+    encode_speedup = legacy_seconds / store_seconds
+    batch_speedup = legacy_batch_seconds / store_batch_seconds
+    rows = [
+        ["encode all bags", legacy_seconds, store_seconds, encode_speedup],
+        [
+            "batch assembly (1 epoch)",
+            legacy_batch_seconds,
+            store_batch_seconds,
+            batch_speedup,
+        ],
+    ]
+    report = format_table(
+        ["stage", "per-bag seconds", "store seconds", "speedup"],
+        rows,
+        title=(
+            f"Corpus-engine throughput: {len(store)} bags, "
+            f"{store.num_sentences} sentences, {store.num_tokens} tokens "
+            f"(batch_size={BATCH_SIZE}, max_sentence_length="
+            f"{encoder.max_sentence_length}, cap={encoder.max_sentences_per_bag})"
+        ),
+    )
+    write_report("corpus_throughput", report)
+
+    assert encode_speedup >= MIN_ENCODE_SPEEDUP, (
+        f"vectorized corpus encoding reached only {encode_speedup:.1f}x the "
+        f"per-bag loop ({store_seconds:.3f}s vs {legacy_seconds:.3f}s); "
+        f"required {MIN_ENCODE_SPEEDUP}x"
+    )
+    assert batch_speedup >= 1.0, (
+        f"store batch assembly slower than object-list merging "
+        f"({store_batch_seconds:.3f}s vs {legacy_batch_seconds:.3f}s)"
+    )
+
+    # Timed kernel for the benchmark harness: the full store path.
+    def _store_pipeline():
+        fresh = encoder.encode_store(bags)
+        for indices in batches:
+            merge_store_batch(fresh, indices)
+
+    benchmark.pedantic(_store_pipeline, rounds=1, iterations=1)

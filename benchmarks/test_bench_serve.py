@@ -45,8 +45,13 @@ def _best_seconds(fn, repeats: int = TIMING_REPEATS) -> float:
 def test_serve_batched_vs_per_bag_throughput(benchmark, nyt_ctx):
     method, _ = train_and_evaluate(nyt_ctx, "pa_tmr")
     model = method.model
-    # A serving-sized workload: every bag of the bundle, tiled.
-    workload = (nyt_ctx.train_encoded + nyt_ctx.test_encoded) * 4
+    # A serving-sized workload: every bag of the bundle, tiled.  Materialised
+    # as per-bag objects because the per-bag loop below consumes them; the
+    # batched path accepts the same list.
+    workload = (
+        nyt_ctx.train_encoded.to_encoded_bags()
+        + nyt_ctx.test_encoded.to_encoded_bags()
+    ) * 4
     service = PredictionService.from_context(nyt_ctx, model)
 
     # Identical answers first — speed without parity would be meaningless.

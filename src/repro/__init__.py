@@ -5,7 +5,8 @@ The package is organised as:
 
 * :mod:`repro.nn` — numpy autograd / neural-network substrate;
 * :mod:`repro.kb`, :mod:`repro.corpus`, :mod:`repro.text` — synthetic
-  knowledge base, distant-supervision corpora and text utilities;
+  knowledge base, distant-supervision corpora, the columnar corpus engine
+  (:class:`repro.corpus.CorpusStore`) and text utilities;
 * :mod:`repro.graph` — array-native graph engine: CSR entity proximity
   graph, LINE entity embeddings and graph propagation;
 * :mod:`repro.encoders`, :mod:`repro.core` — sentence encoders and the
@@ -38,6 +39,7 @@ from .config import (
 )
 from .corpus import (
     Bag,
+    CorpusStore,
     DatasetBundle,
     EncodedBag,
     RelationExtractionDataset,
@@ -83,6 +85,7 @@ __all__ = [
     "Bag",
     "SentenceExample",
     "EncodedBag",
+    "CorpusStore",
     "RelationExtractionDataset",
     "DatasetBundle",
     "build_synth_nyt",

@@ -117,6 +117,9 @@ class CNNRLMethod(RelationExtractionMethod):
     # Training
     # ------------------------------------------------------------------ #
     def fit(self, train_bags: Sequence[EncodedBag]) -> "CNNRLMethod":
+        # The epoch loop indexes bags repeatedly; materialise CorpusStore
+        # views once instead of rebuilding them every epoch.
+        train_bags = list(train_bags)
         parameters = list(self.classifier.parameters())
         if self.training_config.optimizer == "adam":
             optimizer = Adam(parameters, lr=self.training_config.learning_rate)

@@ -41,6 +41,9 @@ class MIMLREMethod(RelationExtractionMethod):
         self.classifier: Optional[SoftmaxRegression] = None
 
     def fit(self, train_bags: Sequence[EncodedBag]) -> "MIMLREMethod":
+        # Every EM round re-iterates the bags; materialise CorpusStore views
+        # once instead of rebuilding them per round.
+        train_bags = list(train_bags)
         sentence_features = [self.featurizer.sentence_matrix(bag) for bag in train_bags]
         # Soft responsibilities: probability that each sentence expresses each
         # of the bag's relations (initialised uniformly over the bag labels).

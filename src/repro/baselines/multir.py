@@ -54,6 +54,9 @@ class MultiRMethod(RelationExtractionMethod):
     # Training (hard EM)
     # ------------------------------------------------------------------ #
     def fit(self, train_bags: Sequence[EncodedBag]) -> "MultiRMethod":
+        # Every EM round re-iterates the bags; materialise CorpusStore views
+        # once instead of rebuilding them per round.
+        train_bags = list(train_bags)
         sentence_features = [self.featurizer.sentence_matrix(bag) for bag in train_bags]
         # Initial assignment: every sentence inherits the bag label.
         assignments = [

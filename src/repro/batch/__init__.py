@@ -21,12 +21,19 @@ compatibility.
 """
 
 from .inference import batched_predict_probabilities
-from .merging import MergedBagBatch, merge_encoded_bags
+from .merging import (
+    MergedBagBatch,
+    as_merged_batch,
+    merge_encoded_bags,
+    merge_store_batch,
+)
 from .training import batched_train_logits, supports_batched_training
 
 __all__ = [
     "MergedBagBatch",
+    "as_merged_batch",
     "merge_encoded_bags",
+    "merge_store_batch",
     "batched_predict_probabilities",
     "batched_train_logits",
     "supports_batched_training",

@@ -14,50 +14,50 @@ by construction (same ops, same float64 dtype) and enforced by
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
 from ..core.model import NeuralREModel
-from ..corpus.bags import EncodedBag
 from ..encoders.attention import AverageBagAggregator, SelectiveAttentionAggregator
 from ..encoders.cnn import CNNEncoder
 from ..encoders.pcnn import NUM_SEGMENTS, PCNNEncoder, _align_segments
 from ..exceptions import ModelError
 from .merging import (
+    BagBatchLike,
     MergedBagBatch,
+    as_merged_batch,
     cnn_pooling_mask,
-    merge_encoded_bags,
     mutual_relation_matrix,
     padded_slot_plan,
 )
 
 
-def batched_predict_probabilities(
-    model: NeuralREModel, bags: Sequence[EncodedBag]
-) -> np.ndarray:
+def batched_predict_probabilities(model: NeuralREModel, bags: BagBatchLike) -> np.ndarray:
     """Relation probability distributions for many bags in one pass.
 
-    Returns an array of shape ``(num_bags, num_relations)`` equal (up to
-    floating-point round-off) to stacking ``model.predict_probabilities(bag)``
-    over ``bags``.
+    ``bags`` may be a sequence of :class:`EncodedBag` objects, a columnar
+    :class:`~repro.corpus.store.CorpusStore` (or sub-store), or an already
+    assembled :class:`MergedBagBatch`.  Returns an array of shape
+    ``(num_bags, num_relations)`` equal (up to floating-point round-off) to
+    stacking ``model.predict_probabilities(bag)`` over ``bags``.
     """
-    if not bags:
+    if len(bags) == 0:
         return np.zeros((0, model.num_relations))
     was_training = model.training
     if was_training:
         model.eval()
     try:
-        batch = merge_encoded_bags(bags)
+        batch = as_merged_batch(bags)
         reprs = _merged_sentence_representations(model, batch)
         re_logits = _batched_aggregator_logits(model.base_model.aggregator, reprs, batch)
         type_logits = (
-            _batched_type_logits(model.type_head, bags)
+            _batched_type_logits(model.type_head, batch)
             if model.type_head is not None
             else None
         )
         mr_logits = (
-            _batched_mutual_relation_logits(model.mutual_relation_head, bags)
+            _batched_mutual_relation_logits(model.mutual_relation_head, batch)
             if model.mutual_relation_head is not None
             else None
         )
@@ -195,12 +195,12 @@ def _average_pool_logits(
     return means @ weight.T + bias
 
 
-def _batched_type_logits(type_head, bags: Sequence[EncodedBag]) -> np.ndarray:
+def _batched_type_logits(type_head, batch: MergedBagBatch) -> np.ndarray:
     """Vectorized :class:`EntityTypeHead` forward over a batch of bags."""
     table = type_head.type_embedding.weight.data
     pair = np.concatenate(
-        [_mean_type_vectors(table, [bag.head_type_ids for bag in bags]),
-         _mean_type_vectors(table, [bag.tail_type_ids for bag in bags])],
+        [_mean_type_vectors(table, batch.head_type_ids, batch.head_type_offsets),
+         _mean_type_vectors(table, batch.tail_type_ids, batch.tail_type_offsets)],
         axis=1,
     )
     weight = type_head.classifier.weight.data
@@ -208,22 +208,22 @@ def _batched_type_logits(type_head, bags: Sequence[EncodedBag]) -> np.ndarray:
     return pair @ weight.T + bias
 
 
-def _mean_type_vectors(table: np.ndarray, id_lists: Sequence[np.ndarray]) -> np.ndarray:
-    """Per-bag mean of type-embedding rows, vectorized over the batch."""
-    counts = np.array([len(ids) for ids in id_lists], dtype=np.int64)
-    flat = np.concatenate(id_lists)
-    offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
-    sums = np.add.reduceat(table[flat], offsets, axis=0)
+def _mean_type_vectors(
+    table: np.ndarray, flat_ids: np.ndarray, offsets: np.ndarray
+) -> np.ndarray:
+    """Per-bag mean of type-embedding rows over a ragged flat id column."""
+    counts = np.diff(offsets)
+    sums = np.add.reduceat(table[flat_ids], offsets[:-1], axis=0)
     return sums / counts[:, None]
 
 
-def _batched_mutual_relation_logits(mr_head, bags: Sequence[EncodedBag]) -> np.ndarray:
+def _batched_mutual_relation_logits(mr_head, batch: MergedBagBatch) -> np.ndarray:
     """Vectorized :class:`MutualRelationHead` forward over a batch of bags.
 
     Entity id -1 marks an entity unknown to the knowledge base; such entities
     use a zero vector, matching the per-bag head's fallback.
     """
-    mr = mutual_relation_matrix(mr_head, bags)
+    mr = mutual_relation_matrix(mr_head, batch)
     weight = mr_head.classifier.weight.data
     bias = mr_head.classifier.bias.data if mr_head.classifier.bias is not None else 0.0
     return mr @ weight.T + bias

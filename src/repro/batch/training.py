@@ -28,13 +28,12 @@ Parity is by construction (enforced by ``tests/test_batch_training.py``):
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from .. import nn
 from ..core.model import NeuralREModel
-from ..corpus.bags import EncodedBag
 from ..encoders.attention import AverageBagAggregator, SelectiveAttentionAggregator
 from ..encoders.cnn import CNNEncoder
 from ..encoders.gru import GRUEncoder
@@ -43,9 +42,10 @@ from ..exceptions import ModelError
 from ..nn import functional as F
 from ..nn.tensor import Tensor
 from .merging import (
+    BagBatchLike,
     MergedBagBatch,
+    as_merged_batch,
     cnn_pooling_mask,
-    merge_encoded_bags,
     mutual_relation_matrix,
     padded_slot_plan,
 )
@@ -70,33 +70,35 @@ def supports_batched_training(model: object) -> bool:
     )
 
 
-def batched_train_logits(model: NeuralREModel, bags: Sequence[EncodedBag]) -> Tensor:
+def batched_train_logits(model: NeuralREModel, bags: BagBatchLike) -> Tensor:
     """Combined training logits of shape ``(num_bags, num_relations)``.
 
-    Equivalent to ``nn.stack([model(bag, bag.label) for bag in bags])`` —
-    same values and same parameter gradients up to float64 round-off — but
-    computed as one vectorized graph, which is what makes training a hot
-    path instead of a python loop (see ``benchmarks/test_bench_train.py``).
+    ``bags`` may be a sequence of :class:`EncodedBag` objects, a columnar
+    :class:`~repro.corpus.store.CorpusStore` (or sub-store), or an already
+    assembled :class:`MergedBagBatch`.  Equivalent to
+    ``nn.stack([model(bag, bag.label) for bag in bags])`` — same values and
+    same parameter gradients up to float64 round-off — but computed as one
+    vectorized graph, which is what makes training a hot path instead of a
+    python loop (see ``benchmarks/test_bench_train.py``).
     """
-    if not bags:
+    if len(bags) == 0:
         raise ModelError("batched training forward needs at least one bag")
     if not supports_batched_training(model):
         raise ModelError(
             f"model {type(model).__name__} is not supported by the batched "
             "training forward; train it with the per-bag loop"
         )
-    batch = merge_encoded_bags(bags)
-    labels = np.array([bag.label for bag in bags], dtype=np.int64)
+    batch = as_merged_batch(bags)
     representations = _training_sentence_representations(model, batch)
     re_logits = _aggregator_train_logits(
-        model.base_model.aggregator, representations, batch, labels
+        model.base_model.aggregator, representations, batch, batch.labels
     )
     type_logits = (
-        _type_head_logits(model.type_head, bags) if model.type_head is not None else None
+        _type_head_logits(model.type_head, batch) if model.type_head is not None else None
     )
     mr_logits = (
         model.mutual_relation_head.classifier(
-            nn.tensor(mutual_relation_matrix(model.mutual_relation_head, bags))
+            nn.tensor(mutual_relation_matrix(model.mutual_relation_head, batch))
         )
         if model.mutual_relation_head is not None
         else None
@@ -195,24 +197,29 @@ def _aggregator_train_logits(
 # ---------------------------------------------------------------------- #
 # Entity-type head
 # ---------------------------------------------------------------------- #
-def _type_head_logits(type_head, bags: Sequence[EncodedBag]) -> Tensor:
+def _type_head_logits(type_head, batch: MergedBagBatch) -> Tensor:
     """Vectorized :class:`EntityTypeHead` training forward: ``(num_bags, R)``."""
     head_vectors = _mean_type_embeddings(
-        type_head.type_embedding, [bag.head_type_ids for bag in bags]
+        type_head.type_embedding, batch.head_type_ids, batch.head_type_offsets
     )
     tail_vectors = _mean_type_embeddings(
-        type_head.type_embedding, [bag.tail_type_ids for bag in bags]
+        type_head.type_embedding, batch.tail_type_ids, batch.tail_type_offsets
     )
     return type_head.classifier(nn.concatenate([head_vectors, tail_vectors], axis=1))
 
 
-def _mean_type_embeddings(embedding, id_lists: List[np.ndarray]) -> Tensor:
-    """Per-bag mean of type-embedding rows with gradients: ``(num_bags, kt)``."""
-    counts = np.array([len(ids) for ids in id_lists], dtype=np.int64)
+def _mean_type_embeddings(embedding, flat_ids: np.ndarray, offsets: np.ndarray) -> Tensor:
+    """Per-bag mean of type-embedding rows with gradients: ``(num_bags, kt)``.
+
+    The ragged id column arrives flat with offsets; padding slots use id 0
+    and are masked to exact zeros, so gradients scattered into row 0 are
+    exact zeros too.
+    """
+    counts = np.diff(offsets)
     max_types = int(counts.max())
     mask = np.arange(max_types)[None, :] < counts[:, None]
-    padded_ids = np.zeros((len(id_lists), max_types), dtype=np.int64)
-    padded_ids[mask] = np.concatenate(id_lists)
+    padded_ids = np.zeros((counts.size, max_types), dtype=np.int64)
+    padded_ids[mask] = flat_ids
     embedded = embedding(padded_ids)
     embedded = embedded * Tensor(mask[:, :, None].astype(embedded.dtype))
     return embedded.sum(axis=1) * (1.0 / counts)[:, None]

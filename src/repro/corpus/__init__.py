@@ -17,8 +17,11 @@ from .datasets import (
     pair_frequency_histogram,
 )
 from .loader import BagEncoder, BatchIterator
+from .store import CorpusStore, load_corpus
 
 __all__ = [
+    "CorpusStore",
+    "load_corpus",
     "SentenceExample",
     "Bag",
     "EncodedBag",

@@ -1,0 +1,397 @@
+"""Columnar ragged container for an entire encoded corpus.
+
+The seed-era encoded corpus was a ``List[EncodedBag]``: one Python object per
+bag, each holding its own small padded matrices.  Every epoch then re-padded
+those objects into merged batches, and the artifact cache wrote one npz key
+set per bag.  :class:`CorpusStore` replaces that with the corpus analogue of
+the array-native proximity graph (:mod:`repro.graph.proximity`): the whole
+corpus lives in a handful of flat, contiguous arrays with CSR-style offset
+indices —
+
+* token-level columns ``token_ids`` / ``head_position_ids`` /
+  ``tail_position_ids`` / ``segment_ids`` (one entry per real token, no
+  padding anywhere), indexed by ``sentence_offsets``;
+* ``bag_offsets`` grouping sentences into bags, plus per-bag columns
+  ``bag_widths`` (the per-bag pad width the legacy encoder used), ``labels``,
+  ``head_entity_ids`` / ``tail_entity_ids``, and ragged ``relation_ids`` /
+  type-id columns with their own offsets.
+
+Batches are assembled by *slicing offsets* (:func:`repro.batch.merging.merge_store_batch`)
+instead of re-padding object lists; the store also persists as a single
+columnar npz (:meth:`save` — format v2) that ``np.load`` can memmap, with the
+seed per-bag key layout still readable (:meth:`load` converts it).
+
+:class:`~repro.corpus.bags.EncodedBag` remains the per-bag API: the store is
+a read-only sequence of bags (``store[i]``, iteration, ``len``) whose 1-D
+per-bag columns are zero-copy slices of the flat arrays; only the padded 2-D
+sentence matrices are materialised on access, exactly as the legacy encoder
+produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import DataError
+from ..utils.arrays import concat_ranges, gather_ragged, offsets_from_sizes
+from .bags import EncodedBag
+
+#: On-disk format version of the columnar npz layout (the legacy per-bag
+#: layout written by ``save_encoded_bags`` has no version key).
+CORPUS_STORE_FORMAT = 2
+
+_TOKEN_COLUMNS = ("token_ids", "head_position_ids", "tail_position_ids", "segment_ids")
+_BAG_COLUMNS = ("bag_widths", "labels", "head_entity_ids", "tail_entity_ids")
+_RAGGED_COLUMNS = ("relation_ids", "head_type_ids", "tail_type_ids")
+
+
+@dataclass
+class CorpusStore:
+    """An encoded corpus as contiguous columnar arrays (see module docstring)."""
+
+    token_ids: np.ndarray          # (total_tokens,) int64
+    head_position_ids: np.ndarray  # (total_tokens,) int64
+    tail_position_ids: np.ndarray  # (total_tokens,) int64
+    segment_ids: np.ndarray        # (total_tokens,) int64
+    sentence_offsets: np.ndarray   # (total_sentences + 1,) token offsets
+    bag_offsets: np.ndarray        # (num_bags + 1,) sentence offsets
+    bag_widths: np.ndarray         # (num_bags,) per-bag pad width
+    labels: np.ndarray             # (num_bags,) primary relation ids
+    head_entity_ids: np.ndarray    # (num_bags,)
+    tail_entity_ids: np.ndarray    # (num_bags,)
+    relation_ids: np.ndarray       # flat sorted relation ids per bag
+    relation_offsets: np.ndarray   # (num_bags + 1,)
+    head_type_ids: np.ndarray      # flat type ids per bag (>= 1 entry each)
+    head_type_offsets: np.ndarray  # (num_bags + 1,)
+    tail_type_ids: np.ndarray
+    tail_type_offsets: np.ndarray
+
+    def __post_init__(self) -> None:
+        for offsets, flat, name in (
+            (self.sentence_offsets, self.token_ids, "sentence_offsets"),
+            (self.bag_offsets, self.sentence_offsets[:-1], "bag_offsets"),
+            (self.relation_offsets, self.relation_ids, "relation_offsets"),
+            (self.head_type_offsets, self.head_type_ids, "head_type_offsets"),
+            (self.tail_type_offsets, self.tail_type_ids, "tail_type_offsets"),
+        ):
+            if offsets.ndim != 1 or offsets.size == 0 or offsets[0] != 0:
+                raise DataError(f"{name} must be 1-D and start at 0")
+            if (np.diff(offsets) < 0).any():
+                raise DataError(f"{name} must be non-decreasing")
+            if int(offsets[-1]) != flat.shape[0]:
+                raise DataError(f"{name} does not cover its flat column")
+        n = self.num_bags
+        for name in _BAG_COLUMNS:
+            if getattr(self, name).shape != (n,):
+                raise DataError(f"per-bag column {name} must have shape ({n},)")
+        for name in ("relation_offsets", "head_type_offsets", "tail_type_offsets"):
+            if getattr(self, name).shape != (n + 1,):
+                raise DataError(f"{name} must have shape ({n + 1},)")
+
+    # ------------------------------------------------------------------ #
+    # Shape
+    # ------------------------------------------------------------------ #
+    @property
+    def num_bags(self) -> int:
+        return int(self.bag_offsets.size - 1)
+
+    @property
+    def num_sentences(self) -> int:
+        return int(self.bag_offsets[-1])
+
+    @property
+    def num_tokens(self) -> int:
+        return int(self.sentence_offsets[-1])
+
+    @property
+    def sentence_lengths(self) -> np.ndarray:
+        """Per-sentence token counts, shape ``(num_sentences,)``."""
+        return np.diff(self.sentence_offsets)
+
+    @property
+    def sentence_counts(self) -> np.ndarray:
+        """Per-bag sentence counts, shape ``(num_bags,)``."""
+        return np.diff(self.bag_offsets)
+
+    def __len__(self) -> int:
+        return self.num_bags
+
+    # ------------------------------------------------------------------ #
+    # Sequence-of-bags compatibility API
+    # ------------------------------------------------------------------ #
+    def bag(self, index: int) -> EncodedBag:
+        """Materialise bag ``index`` as a legacy :class:`EncodedBag`.
+
+        The padded 2-D sentence matrices are rebuilt on demand (bitwise equal
+        to what ``BagEncoder.encode`` produces); the per-bag type-id vectors
+        are zero-copy views of the flat columns.
+        """
+        n = self.num_bags
+        if not -n <= index < n:
+            raise IndexError(f"bag index {index} out of range for {n} bags")
+        if index < 0:
+            index += n
+        first, last = int(self.bag_offsets[index]), int(self.bag_offsets[index + 1])
+        lengths = np.diff(self.sentence_offsets[first:last + 1])
+        width = int(self.bag_widths[index])
+        token_span = slice(
+            int(self.sentence_offsets[first]), int(self.sentence_offsets[last])
+        )
+        token_ids, head_pos, tail_pos, segments, valid = pad_token_columns(
+            self.token_ids[token_span],
+            self.head_position_ids[token_span],
+            self.tail_position_ids[token_span],
+            self.segment_ids[token_span],
+            lengths,
+            width,
+        )
+        return EncodedBag(
+            token_ids=token_ids,
+            head_position_ids=head_pos,
+            tail_position_ids=tail_pos,
+            segment_ids=segments,
+            mask=valid,
+            label=int(self.labels[index]),
+            relation_ids=tuple(
+                int(r)
+                for r in self.relation_ids[
+                    self.relation_offsets[index]:self.relation_offsets[index + 1]
+                ]
+            ),
+            head_entity_id=int(self.head_entity_ids[index]),
+            tail_entity_id=int(self.tail_entity_ids[index]),
+            head_type_ids=self.head_type_ids[
+                self.head_type_offsets[index]:self.head_type_offsets[index + 1]
+            ],
+            tail_type_ids=self.tail_type_ids[
+                self.tail_type_offsets[index]:self.tail_type_offsets[index + 1]
+            ],
+        )
+
+    def __getitem__(
+        self, index: Union[int, slice, Sequence[int], np.ndarray]
+    ) -> Union[EncodedBag, "CorpusStore"]:
+        """``store[i]`` is an :class:`EncodedBag`; slices / index arrays are sub-stores."""
+        if isinstance(index, (int, np.integer)):
+            return self.bag(int(index))
+        if isinstance(index, slice):
+            return self.select(np.arange(self.num_bags, dtype=np.int64)[index])
+        return self.select(np.asarray(index, dtype=np.int64))
+
+    def __iter__(self) -> Iterator[EncodedBag]:
+        for index in range(self.num_bags):
+            yield self.bag(index)
+
+    def to_encoded_bags(self) -> List[EncodedBag]:
+        """The whole corpus as legacy per-bag objects (parity / fallback path)."""
+        return [self.bag(index) for index in range(self.num_bags)]
+
+    # ------------------------------------------------------------------ #
+    # Columnar slicing
+    # ------------------------------------------------------------------ #
+    def select(self, indices: np.ndarray) -> "CorpusStore":
+        """A compact sub-store holding bags ``indices`` in the given order."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_bags):
+            raise DataError("bag indices out of range")
+        counts = self.bag_offsets[indices + 1] - self.bag_offsets[indices]
+        sentence_rows = concat_ranges(self.bag_offsets[indices], counts)
+        lengths = (
+            self.sentence_offsets[sentence_rows + 1]
+            - self.sentence_offsets[sentence_rows]
+        )
+        token_rows = concat_ranges(self.sentence_offsets[sentence_rows], lengths)
+        relation_ids, relation_offsets = gather_ragged(
+            self.relation_ids, self.relation_offsets, indices
+        )
+        head_type_ids, head_type_offsets = gather_ragged(
+            self.head_type_ids, self.head_type_offsets, indices
+        )
+        tail_type_ids, tail_type_offsets = gather_ragged(
+            self.tail_type_ids, self.tail_type_offsets, indices
+        )
+        return CorpusStore(
+            token_ids=self.token_ids[token_rows],
+            head_position_ids=self.head_position_ids[token_rows],
+            tail_position_ids=self.tail_position_ids[token_rows],
+            segment_ids=self.segment_ids[token_rows],
+            sentence_offsets=offsets_from_sizes(lengths),
+            bag_offsets=offsets_from_sizes(counts),
+            bag_widths=self.bag_widths[indices],
+            labels=self.labels[indices],
+            head_entity_ids=self.head_entity_ids[indices],
+            tail_entity_ids=self.tail_entity_ids[indices],
+            relation_ids=relation_ids,
+            relation_offsets=relation_offsets,
+            head_type_ids=head_type_ids,
+            head_type_offsets=head_type_offsets,
+            tail_type_ids=tail_type_ids,
+            tail_type_offsets=tail_type_offsets,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Conversion from the legacy representation
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_encoded_bags(cls, bags: Sequence[EncodedBag]) -> "CorpusStore":
+        """Build a store from legacy per-bag objects (exact round-trip)."""
+        token_columns = {name: [] for name in _TOKEN_COLUMNS}
+        sentence_lengths: List[np.ndarray] = []
+        counts = np.empty(len(bags), dtype=np.int64)
+        widths = np.empty(len(bags), dtype=np.int64)
+        labels = np.empty(len(bags), dtype=np.int64)
+        heads = np.empty(len(bags), dtype=np.int64)
+        tails = np.empty(len(bags), dtype=np.int64)
+        relations: List[np.ndarray] = []
+        head_types: List[np.ndarray] = []
+        tail_types: List[np.ndarray] = []
+        for i, bag in enumerate(bags):
+            mask = bag.mask
+            sentence_lengths.append(mask.sum(axis=1).astype(np.int64))
+            token_columns["token_ids"].append(bag.token_ids[mask])
+            token_columns["head_position_ids"].append(bag.head_position_ids[mask])
+            token_columns["tail_position_ids"].append(bag.tail_position_ids[mask])
+            token_columns["segment_ids"].append(bag.segment_ids[mask])
+            counts[i] = bag.num_sentences
+            widths[i] = bag.max_length
+            labels[i] = bag.label
+            heads[i] = bag.head_entity_id
+            tails[i] = bag.tail_entity_id
+            relations.append(np.asarray(bag.relation_ids, dtype=np.int64))
+            head_types.append(np.asarray(bag.head_type_ids, dtype=np.int64))
+            tail_types.append(np.asarray(bag.tail_type_ids, dtype=np.int64))
+
+        def _flat(parts: List[np.ndarray]) -> np.ndarray:
+            return (
+                np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+            ).astype(np.int64, copy=False)
+
+        def _offsets(parts: List[np.ndarray]) -> np.ndarray:
+            return offsets_from_sizes([part.size for part in parts])
+
+        lengths = _flat(sentence_lengths)
+        return cls(
+            token_ids=_flat(token_columns["token_ids"]),
+            head_position_ids=_flat(token_columns["head_position_ids"]),
+            tail_position_ids=_flat(token_columns["tail_position_ids"]),
+            segment_ids=_flat(token_columns["segment_ids"]),
+            sentence_offsets=offsets_from_sizes(lengths),
+            bag_offsets=offsets_from_sizes(counts),
+            bag_widths=widths,
+            labels=labels,
+            head_entity_ids=heads,
+            tail_entity_ids=tails,
+            relation_ids=_flat(relations),
+            relation_offsets=_offsets(relations),
+            head_type_ids=_flat(head_types),
+            head_type_offsets=_offsets(head_types),
+            tail_type_ids=_flat(tail_types),
+            tail_type_offsets=_offsets(tail_types),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Persistence (columnar npz, format v2; legacy per-bag layout readable)
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> None:
+        """Write the store as one columnar npz file (format v2).
+
+        Every column is a single flat array under its own key, so
+        ``np.load(..., mmap_mode=...)`` of an uncompressed copy — or plain
+        loading of the compressed one — touches each column exactly once.
+        """
+        from ..utils.serialization import save_npz
+
+        arrays = {"format": np.array([CORPUS_STORE_FORMAT], dtype=np.int64)}
+        for name in (
+            *_TOKEN_COLUMNS,
+            "sentence_offsets",
+            "bag_offsets",
+            *_BAG_COLUMNS,
+        ):
+            arrays[name] = getattr(self, name)
+        for name in _RAGGED_COLUMNS:
+            arrays[name] = getattr(self, name)
+            arrays[name + "__offsets"] = getattr(self, _offsets_field(name))
+        save_npz(path, arrays)
+
+    @classmethod
+    def load(cls, path) -> "CorpusStore":
+        """Load a store saved by :meth:`save`, or convert a legacy file.
+
+        Files written by the seed-era ``save_encoded_bags`` (one key set per
+        bag, no ``format`` key) are recognised and converted, so caches and
+        exports produced before the columnar engine keep working.
+        """
+        from ..utils.serialization import load_npz
+        from .loader import load_encoded_bags
+
+        data = load_npz(path)
+        if "format" not in data:
+            if "num_bags" in data:  # legacy per-bag layout
+                return cls.from_encoded_bags(load_encoded_bags(path))
+            raise DataError(f"{path} is not an encoded-corpus file")
+        version = int(data["format"][0])
+        if version != CORPUS_STORE_FORMAT:
+            raise DataError(
+                f"unsupported corpus-store format version {version} "
+                f"(this build reads version {CORPUS_STORE_FORMAT} and the "
+                "legacy per-bag layout)"
+            )
+        kwargs = {
+            name: data[name].astype(np.int64, copy=False)
+            for name in (
+                *_TOKEN_COLUMNS,
+                "sentence_offsets",
+                "bag_offsets",
+                *_BAG_COLUMNS,
+                *_RAGGED_COLUMNS,
+            )
+        }
+        for name in _RAGGED_COLUMNS:
+            kwargs[_offsets_field(name)] = data[name + "__offsets"].astype(
+                np.int64, copy=False
+            )
+        return cls(**kwargs)
+
+
+def _offsets_field(ragged_name: str) -> str:
+    """Field name of a ragged column's offsets (``relation_ids`` -> ``relation_offsets``)."""
+    return ragged_name.replace("_ids", "_offsets")
+
+
+def pad_token_columns(
+    token_ids: np.ndarray,
+    head_position_ids: np.ndarray,
+    tail_position_ids: np.ndarray,
+    segment_ids: np.ndarray,
+    lengths: np.ndarray,
+    width: int,
+):
+    """Scatter flat token columns into right-padded ``(rows, width)`` matrices.
+
+    The inputs are flat per-token arrays already concatenated in sentence
+    order; each sentence ``i`` occupies ``lengths[i]`` entries.  Returns the
+    four padded matrices plus the validity mask, using the one padding
+    convention everything downstream depends on: token 0, position 0,
+    segment -1, mask False.  Shared by :meth:`CorpusStore.bag` and
+    :func:`repro.batch.merging.merge_store_batch` so the two can never
+    disagree.
+    """
+    valid = np.arange(width)[None, :] < lengths[:, None]
+    padded_tokens = np.zeros((lengths.size, width), dtype=np.int64)
+    padded_heads = np.zeros((lengths.size, width), dtype=np.int64)
+    padded_tails = np.zeros((lengths.size, width), dtype=np.int64)
+    padded_segments = np.full((lengths.size, width), -1, dtype=np.int64)
+    padded_tokens[valid] = token_ids
+    padded_heads[valid] = head_position_ids
+    padded_tails[valid] = tail_position_ids
+    padded_segments[valid] = segment_ids
+    return padded_tokens, padded_heads, padded_tails, padded_segments, valid
+
+
+def load_corpus(path) -> CorpusStore:
+    """Load an encoded corpus in either on-disk layout as a :class:`CorpusStore`."""
+    return CorpusStore.load(path)

@@ -118,16 +118,26 @@ class HeldOutEvaluator:
         num_relations: int,
         precision_at: Sequence[int] = (100, 200),
     ) -> None:
-        if not test_bags:
+        if len(test_bags) == 0:
             raise ConfigurationError("the test set is empty")
         if num_relations < 2:
             raise ConfigurationError("num_relations must be at least 2")
-        self.test_bags = list(test_bags)
+        # A columnar CorpusStore is kept as-is (it iterates as encoded bags);
+        # anything else is copied into a list once.
+        from ..corpus.store import CorpusStore
+
+        self.test_bags = (
+            test_bags if isinstance(test_bags, CorpusStore) else list(test_bags)
+        )
         self.num_relations = num_relations
         self.precision_at = tuple(precision_at)
         self.total_positives = self._count_positive_facts()
 
     def _count_positive_facts(self) -> int:
+        from ..corpus.store import CorpusStore
+
+        if isinstance(self.test_bags, CorpusStore):
+            return max(int((self.test_bags.relation_ids != 0).sum()), 1)
         total = 0
         for bag in self.test_bags:
             total += sum(1 for relation_id in bag.relation_ids if relation_id != 0)

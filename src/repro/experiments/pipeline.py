@@ -28,16 +28,16 @@ per-bag loop.  Opt out per context via ``ScaleProfile.batched_training=False``
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..baselines.api import RelationExtractionMethod
 from ..baselines.registry import build_method, display_name
 from ..config import ExperimentConfig, ModelConfig, ScaleProfile, TrainingConfig
-from ..corpus.bags import EncodedBag
 from ..corpus.datasets import DatasetBundle, build_synth_gds, build_synth_nyt
-from ..corpus.loader import BagEncoder, load_encoded_bags, save_encoded_bags
+from ..corpus.loader import BagEncoder
+from ..corpus.store import CorpusStore
 from ..eval.heldout import EvaluationResult, HeldOutEvaluator
 from ..exceptions import ConfigurationError
 from ..graph.embeddings import EntityEmbeddings, train_entity_embeddings
@@ -63,7 +63,10 @@ _default_cache: Optional[ArtifactCache] = None
 # hash automatically, code changes only through this constant.
 # Version 2: array-native graph engine — id-encoded proximity-graph files,
 # chunked LINE sampling (new RNG stream) and the optional propagation stage.
-PIPELINE_CACHE_VERSION = 2
+# Version 3: columnar corpus store — encoded corpora persist as one columnar
+# npz (CorpusStore format v2) instead of per-bag key sets; the legacy layout
+# stays readable through CorpusStore.load.
+PIPELINE_CACHE_VERSION = 3
 
 
 def set_default_cache(cache: Optional[ArtifactCache]) -> Optional[ArtifactCache]:
@@ -95,8 +98,10 @@ class ExperimentContext:
     proximity_graph: EntityProximityGraph
     entity_embeddings: EntityEmbeddings
     bag_encoder: BagEncoder
-    train_encoded: List[EncodedBag]
-    test_encoded: List[EncodedBag]
+    # Columnar stores; both iterate/index as sequences of EncodedBag views,
+    # and the batched training/serving paths consume their offsets directly.
+    train_encoded: CorpusStore
+    test_encoded: CorpusStore
     evaluator: HeldOutEvaluator
     model_config: ModelConfig
     training_config: TrainingConfig
@@ -248,16 +253,16 @@ def prepare_context(
     train_encoded = cache.get_or_build(
         "encoded_bags",
         {**encoder_key, "split": "train"},
-        build=lambda: encoder.encode_all(bundle.train.bags),
-        save=lambda value, path: save_encoded_bags(path, value),
-        load=load_encoded_bags,
+        build=lambda: encoder.encode_store(bundle.train.bags),
+        save=lambda value, path: value.save(path),
+        load=CorpusStore.load,
     )
     test_encoded = cache.get_or_build(
         "encoded_bags",
         {**encoder_key, "split": "test"},
-        build=lambda: encoder.encode_all(bundle.test.bags),
-        save=lambda value, path: save_encoded_bags(path, value),
-        load=load_encoded_bags,
+        build=lambda: encoder.encode_store(bundle.test.bags),
+        save=lambda value, path: value.save(path),
+        load=CorpusStore.load,
     )
     evaluator = HeldOutEvaluator(test_encoded, bundle.schema.num_relations)
 

@@ -24,10 +24,12 @@ import numpy as np
 from ..core.model import NeuralREModel
 from ..corpus.bags import Bag, EncodedBag, SentenceExample
 from ..corpus.loader import BagEncoder
+from ..corpus.store import CorpusStore
 from ..exceptions import DataError
 from ..kb.knowledge_base import KnowledgeBase
 from ..kb.schema import RelationSchema
 from ..batch import batched_predict_probabilities
+from ..batch.merging import merge_store_batch
 from ..text.tokenizer import simple_tokenize
 from ..utils.logging import get_logger
 
@@ -252,24 +254,41 @@ class PredictionService:
     # ------------------------------------------------------------------ #
     # Prediction
     # ------------------------------------------------------------------ #
-    def predict_encoded(self, bags: Sequence[EncodedBag]) -> np.ndarray:
+    def predict_encoded(
+        self, bags: Union[Sequence[EncodedBag], CorpusStore]
+    ) -> np.ndarray:
         """Probability matrix ``(num_bags, num_relations)`` for encoded bags.
 
-        Bags are processed in chunks of at most ``batch_size``; each chunk is
-        one vectorized forward pass.  This is the hot path the benchmark
-        measures and the evaluator can call directly.
+        Accepts a sequence of encoded bags or a columnar
+        :class:`~repro.corpus.store.CorpusStore`; store chunks are assembled
+        by slicing the store's offsets (no per-bag objects).  Bags are
+        processed in chunks of at most ``batch_size``; each chunk is one
+        vectorized forward pass.  This is the hot path the benchmark measures
+        and the evaluator can call directly.
         """
-        if not bags:
+        if len(bags) == 0:
             return np.zeros((0, self.model.num_relations))
+        store = bags if isinstance(bags, CorpusStore) else None
         # Bags in a chunk are padded to the chunk's longest sentence, so
         # grouping similar widths together minimises wasted convolution work.
-        order = np.argsort([bag.max_length for bag in bags], kind="stable")
+        widths = (
+            store.bag_widths
+            if store is not None
+            else [bag.max_length for bag in bags]
+        )
+        order = np.argsort(widths, kind="stable")
         rows = []
         for start in range(0, len(order), self.batch_size):
-            chunk = [bags[int(i)] for i in order[start:start + self.batch_size]]
+            indices = order[start:start + self.batch_size]
+            if store is not None:
+                chunk = merge_store_batch(store, indices)
+                num_sentences = chunk.num_sentences
+            else:
+                chunk = [bags[int(i)] for i in indices]
+                num_sentences = sum(bag.num_sentences for bag in chunk)
             rows.append(batched_predict_probabilities(self.model, chunk))
             self.stats.batches += 1
-            self.stats.sentences += sum(bag.num_sentences for bag in chunk)
+            self.stats.sentences += num_sentences
         self.stats.requests += len(bags)
         stacked = np.concatenate(rows, axis=0)
         probabilities = np.empty_like(stacked)

@@ -2,7 +2,13 @@
 
 from .vocab import Vocabulary, PAD_TOKEN, UNK_TOKEN
 from .tokenizer import WhitespaceTokenizer, simple_tokenize
-from .position import relative_positions, clip_position, segment_ids_for_entities
+from .position import (
+    clip_position,
+    relative_position_arrays,
+    relative_positions,
+    segment_id_arrays,
+    segment_ids_for_entities,
+)
 
 __all__ = [
     "Vocabulary",
@@ -11,6 +17,8 @@ __all__ = [
     "WhitespaceTokenizer",
     "simple_tokenize",
     "relative_positions",
+    "relative_position_arrays",
     "clip_position",
     "segment_ids_for_entities",
+    "segment_id_arrays",
 ]

@@ -55,6 +55,79 @@ def num_position_ids(max_distance: int) -> int:
     return 2 * max_distance + 1
 
 
+def relative_position_arrays(
+    lengths: np.ndarray,
+    head_indices: np.ndarray,
+    tail_indices: np.ndarray,
+    max_distance: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Position-feature ids for many ragged sentences in one vectorized pass.
+
+    The flat-array equivalent of calling :func:`relative_positions` per
+    sentence: token ``j`` of sentence ``s`` receives the clipped, shifted
+    distance to that sentence's head/tail mention.  Returns two int64 arrays
+    of length ``lengths.sum()``, concatenated in sentence order — the layout
+    of a :class:`repro.corpus.store.CorpusStore`.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    if (lengths <= 0).any():
+        raise ValueError("sentence length must be positive")
+    head_indices = np.asarray(head_indices, dtype=np.int64)
+    tail_indices = np.asarray(tail_indices, dtype=np.int64)
+    if ((head_indices < 0) | (head_indices >= lengths)).any() or (
+        (tail_indices < 0) | (tail_indices >= lengths)
+    ).any():
+        raise ValueError("entity positions outside their sentences")
+    token_positions = _positions_within_sentences(lengths)
+    head_rel = token_positions - np.repeat(head_indices, lengths)
+    tail_rel = token_positions - np.repeat(tail_indices, lengths)
+    head_ids = np.clip(head_rel, -max_distance, max_distance) + max_distance
+    tail_ids = np.clip(tail_rel, -max_distance, max_distance) + max_distance
+    return head_ids, tail_ids
+
+
+def segment_id_arrays(
+    lengths: np.ndarray,
+    head_indices: np.ndarray,
+    tail_indices: np.ndarray,
+) -> np.ndarray:
+    """PCNN segment ids for many ragged sentences in one vectorized pass.
+
+    The flat-array equivalent of :func:`segment_ids_for_entities` per
+    sentence, using the same Zeng et al. (2015) convention.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if (lengths <= 0).any():
+        raise ValueError("sentence length must be positive")
+    head_indices = np.asarray(head_indices, dtype=np.int64)
+    tail_indices = np.asarray(tail_indices, dtype=np.int64)
+    if ((head_indices < 0) | (head_indices >= lengths)).any() or (
+        (tail_indices < 0) | (tail_indices >= lengths)
+    ).any():
+        raise ValueError("entity positions outside their sentences")
+    first = np.repeat(np.minimum(head_indices, tail_indices), lengths)
+    second = np.repeat(np.maximum(head_indices, tail_indices), lengths)
+    token_positions = _positions_within_sentences(lengths)
+    return np.where(
+        token_positions <= first,
+        np.int64(0),
+        np.where(token_positions <= second, np.int64(1), np.int64(2)),
+    )
+
+
+def _positions_within_sentences(lengths: np.ndarray) -> np.ndarray:
+    """``[0..len_0), [0..len_1), ...`` concatenated: each token's own index."""
+    from ..utils.arrays import offsets_from_sizes
+
+    offsets = offsets_from_sizes(lengths)
+    return np.arange(int(offsets[-1]), dtype=np.int64) - np.repeat(offsets[:-1], lengths)
+
+
 def segment_ids_for_entities(
     length: int,
     head_index: int,

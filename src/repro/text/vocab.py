@@ -8,7 +8,9 @@ to id 0 so embedding row 0 can stay zero.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 PAD_TOKEN = "<pad>"
 UNK_TOKEN = "<unk>"
@@ -20,6 +22,9 @@ class Vocabulary:
     def __init__(self, tokens: Optional[Iterable[str]] = None) -> None:
         self._token_to_id: Dict[str, int] = {}
         self._id_to_token: List[str] = []
+        # Lexicographically sorted (tokens, ids) table for the bulk encoder;
+        # rebuilt lazily whenever the vocabulary has grown since last use.
+        self._sorted_lookup: Optional[Tuple[np.ndarray, np.ndarray]] = None
         # Reserved ids: padding first so embedding row 0 is the pad vector.
         self.add(PAD_TOKEN)
         self.add(UNK_TOKEN)
@@ -37,6 +42,7 @@ class Vocabulary:
         index = len(self._id_to_token)
         self._token_to_id[token] = index
         self._id_to_token.append(token)
+        self._sorted_lookup = None
         return index
 
     @classmethod
@@ -95,8 +101,45 @@ class Vocabulary:
         return self._id_to_token[index]
 
     def encode(self, tokens: Sequence[str]) -> List[int]:
-        """Map a tokenised sentence to a list of ids."""
-        return [self.token_to_id(token) for token in tokens]
+        """Map a tokenised sentence to a list of ids.
+
+        Wrapper over the same mapping as :meth:`encode_array` (the parity is
+        tested); below ~64 tokens the dict lookup wins because numpy's
+        per-call setup dominates, so per-sentence callers keep seed-era
+        speed while anything corpus-sized takes the bulk path.
+        """
+        tokens = list(tokens)
+        if len(tokens) < 64:
+            return [self.token_to_id(token) for token in tokens]
+        return self.encode_array(tokens).tolist()
+
+    def encode_array(self, tokens) -> np.ndarray:
+        """Bulk token -> id mapping for an arbitrarily large token array.
+
+        The hot path of corpus encoding: one ``np.searchsorted`` over a
+        sorted copy of the vocabulary maps every token at C speed (unknown
+        tokens fall back to the UNK id), instead of one dict lookup per
+        token.  Accepts any 1-D string sequence and returns int64 ids of the
+        same length.
+        """
+        from ..utils.arrays import lookup_sorted
+
+        tokens = np.asarray(tokens, dtype=np.str_)
+        if tokens.size == 0:
+            return np.empty(0, dtype=np.int64)
+        sorted_tokens, sorted_ids = self._lookup_table()
+        return lookup_sorted(sorted_tokens, sorted_ids, tokens, self.unk_id)
+
+    def _lookup_table(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The cached ``(sorted tokens, their ids)`` pair for bulk encoding."""
+        if self._sorted_lookup is None:
+            all_tokens = np.array(self._id_to_token, dtype=np.str_)
+            order = np.argsort(all_tokens)
+            self._sorted_lookup = (
+                all_tokens[order],
+                order.astype(np.int64),
+            )
+        return self._sorted_lookup
 
     def decode(self, ids: Sequence[int]) -> List[str]:
         """Map a list of ids back to tokens."""

@@ -15,15 +15,17 @@ loop.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from .. import nn
 from ..batch import batched_train_logits, supports_batched_training
+from ..batch.merging import MergedBagBatch, merge_store_batch
 from ..config import TrainingConfig
 from ..corpus.bags import EncodedBag
 from ..corpus.loader import BatchIterator
+from ..corpus.store import CorpusStore
 from ..exceptions import ConfigurationError
 from ..nn import functional as F
 from ..utils.logging import get_logger
@@ -97,22 +99,36 @@ class Trainer:
     # ------------------------------------------------------------------ #
     # Training
     # ------------------------------------------------------------------ #
-    def train_batch(self, batch: Sequence[EncodedBag]) -> float:
+    def train_batch(
+        self, batch: Union[Sequence[EncodedBag], MergedBagBatch, CorpusStore]
+    ) -> float:
         """One optimisation step over a batch of bags; returns the batch loss.
 
         With ``config.batched_training`` (the default) and a supported model
         the whole batch is one vectorized forward/backward over a padded
-        batch; otherwise each bag builds its own graph and the logits are
-        stacked.  Both paths yield the same loss and gradients to float64
-        round-off (``tests/test_batch_training.py``).
+        batch — assembled directly from a :class:`MergedBagBatch` /
+        :class:`CorpusStore` slice when given one; otherwise each bag builds
+        its own graph and the logits are stacked.  Both paths yield the same
+        loss and gradients to float64 round-off
+        (``tests/test_batch_training.py``).
         """
-        if not batch:
+        if len(batch) == 0:
             raise ConfigurationError("empty batch")
         if self._batched:
             stacked = batched_train_logits(self.model, batch)
+            labels = (
+                batch.labels
+                if isinstance(batch, (MergedBagBatch, CorpusStore))
+                else np.array([bag.label for bag in batch], dtype=np.int64)
+            )
         else:
+            if isinstance(batch, MergedBagBatch):
+                raise ConfigurationError(
+                    "a MergedBagBatch requires batched training; pass encoded "
+                    "bags (or a CorpusStore) for the per-bag loop"
+                )
             stacked = nn.stack([self.model(bag, bag.label) for bag in batch], axis=0)
-        labels = np.array([bag.label for bag in batch], dtype=np.int64)
+            labels = np.array([bag.label for bag in batch], dtype=np.int64)
         loss = F.cross_entropy(stacked, labels, weight=self._class_weights)
         loss_value = float(loss.data)
         if not np.isfinite(loss_value):
@@ -129,32 +145,47 @@ class Trainer:
 
     def fit(
         self,
-        train_bags: Sequence[EncodedBag],
+        train_bags: Union[Sequence[EncodedBag], CorpusStore],
         early_stopping: Optional[EarlyStopping] = None,
         checkpoint: Optional[CheckpointCallback] = None,
     ) -> TrainingResult:
         """Train for the configured number of epochs.
+
+        ``train_bags`` may be a sequence of encoded bags or a columnar
+        :class:`CorpusStore`; with a store and the batched path every
+        mini-batch is assembled by slicing the store's offsets — no per-bag
+        objects are materialised anywhere in the epoch loop.
 
         ``checkpoint`` (a :class:`~repro.training.callbacks.CheckpointCallback`)
         saves the model after each epoch; diverged epochs are never
         checkpointed, so the newest saved checkpoint always holds finite
         parameters.
         """
-        if not train_bags:
+        if len(train_bags) == 0:
             raise ConfigurationError("no training bags provided")
+        store = train_bags if isinstance(train_bags, CorpusStore) else None
+        if store is not None and not self._batched:
+            # The per-bag loop consumes EncodedBag objects; materialise the
+            # views once instead of once per epoch.
+            train_bags = store.to_encoded_bags()
+            store = None
         history = LossHistory()
         self.model.train()
         stopped_early = False
         diverged = False
         epochs_run = 0
+        # One iterator for the whole run: its persistent permutation buffer
+        # is reshuffled in place at the start of every epoch.
+        iterator = BatchIterator(
+            train_bags,
+            batch_size=self.config.batch_size,
+            shuffle=self.config.shuffle,
+            rng=self._rng,
+        )
         for epoch in range(self.config.epochs):
-            iterator = BatchIterator(
-                train_bags,
-                batch_size=self.config.batch_size,
-                shuffle=self.config.shuffle,
-                rng=self._rng,
-            )
             for batch_index, batch in enumerate(iterator):
+                if store is not None:
+                    batch = merge_store_batch(store, batch)
                 loss = self.train_batch(batch)
                 history.record_batch(loss)
                 if not np.isfinite(loss):

@@ -32,3 +32,73 @@ def factorize_names(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     remap = np.empty(unique.size, dtype=np.int64)
     remap[order] = np.arange(unique.size)
     return unique[order], remap[codes]
+
+
+def lookup_sorted(
+    sorted_keys: np.ndarray,
+    values: np.ndarray,
+    queries: np.ndarray,
+    default: int,
+) -> np.ndarray:
+    """Bulk dictionary lookup via binary search over a sorted key table.
+
+    ``sorted_keys`` must be sorted ascending with ``values`` aligned to it;
+    every query key maps to its value, missing keys to ``default``.  One
+    ``np.searchsorted`` pass — the C-speed backbone of the bulk token/type
+    encoders (:meth:`repro.text.vocab.Vocabulary.encode_array`,
+    :meth:`repro.corpus.loader.TypeVocabulary.encode_array`).
+    """
+    positions = np.searchsorted(sorted_keys, queries)
+    positions = np.minimum(positions, sorted_keys.size - 1)
+    found = sorted_keys[positions] == queries
+    return np.where(found, values[positions], default)
+
+
+def offsets_from_sizes(sizes: np.ndarray) -> np.ndarray:
+    """CSR offsets (leading 0, int64) for rows of the given sizes.
+
+    The one place the ``[0, cumsum...]`` offset convention is spelled out;
+    every ragged column in the corpus store and the merged-batch layer builds
+    its offsets through this.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    offsets = np.empty(sizes.size + 1, dtype=np.int64)
+    offsets[0] = 0
+    np.cumsum(sizes, out=offsets[1:])
+    return offsets
+
+
+def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """``[starts[0], .., starts[0]+lengths[0]-1, starts[1], ...]`` vectorized.
+
+    The gather plan of every ragged slice operation: for CSR-style data laid
+    out as one flat array plus offsets, ``concat_ranges(offsets[rows],
+    lengths[rows])`` yields the flat indices of the selected rows' elements,
+    in row order, without a Python loop.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    return (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(ends - lengths, lengths)
+        + np.repeat(starts, lengths)
+    )
+
+
+def gather_ragged(
+    flat: np.ndarray, offsets: np.ndarray, indices: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Select rows of a ragged ``(flat, offsets)`` array pair.
+
+    Returns the new ``(flat, offsets)`` pair holding rows ``indices`` in
+    order; the result is a compact copy (CSR row gather).
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.int64)
+    lengths = offsets[indices + 1] - offsets[indices]
+    new_offsets = offsets_from_sizes(lengths)
+    return flat[concat_ranges(offsets[indices], lengths)], new_offsets

@@ -11,7 +11,9 @@ from repro.text.position import (
     clip_position,
     num_position_ids,
     pad_sequences,
+    relative_position_arrays,
     relative_positions,
+    segment_id_arrays,
     segment_ids_for_entities,
 )
 from repro.text.tokenizer import WhitespaceTokenizer, simple_tokenize
@@ -162,3 +164,86 @@ class TestPadSequences:
         padded, mask = pad_sequences([[1, 2, 3, 4, 5]], max_length=3)
         np.testing.assert_array_equal(padded, [[1, 2, 3]])
         assert mask.sum() == 3
+
+
+class TestBulkEncoding:
+    """The vectorized paths backing the corpus store (satellite coverage)."""
+
+    def test_encode_array_matches_scalar_encode(self):
+        vocab = Vocabulary(["alpha", "beta", "gamma"])
+        tokens = ["beta", "mars", "alpha", "alpha", "venus", "gamma"]
+        np.testing.assert_array_equal(vocab.encode_array(tokens), vocab.encode(tokens))
+
+    def test_encode_array_unknowns_and_growth(self):
+        vocab = Vocabulary(["alpha"])
+        assert vocab.encode_array(["zz"])[0] == vocab.unk_id
+        # Growing the vocabulary must invalidate the cached lookup table.
+        new_id = vocab.add("zz")
+        assert vocab.encode_array(["zz"])[0] == new_id
+
+    def test_encode_array_empty(self):
+        assert Vocabulary().encode_array([]).size == 0
+        assert Vocabulary().encode([]) == []
+
+    def test_relative_position_arrays_match_per_sentence(self):
+        lengths = np.array([1, 4, 7, 3])
+        heads = np.array([0, 3, 2, 1])
+        tails = np.array([0, 0, 6, 2])
+        flat_heads, flat_tails = relative_position_arrays(lengths, heads, tails, 3)
+        offset = 0
+        for length, head, tail in zip(lengths, heads, tails):
+            expected_h, expected_t = relative_positions(int(length), int(head), int(tail), 3)
+            np.testing.assert_array_equal(flat_heads[offset:offset + length], expected_h)
+            np.testing.assert_array_equal(flat_tails[offset:offset + length], expected_t)
+            offset += length
+
+    def test_segment_id_arrays_match_per_sentence(self):
+        lengths = np.array([5, 2, 9])
+        heads = np.array([4, 0, 8])
+        tails = np.array([0, 1, 3])
+        flat = segment_id_arrays(lengths, heads, tails)
+        offset = 0
+        for length, head, tail in zip(lengths, heads, tails):
+            np.testing.assert_array_equal(
+                flat[offset:offset + length],
+                segment_ids_for_entities(int(length), int(head), int(tail)),
+            )
+            offset += length
+
+    def test_bulk_validation(self):
+        with pytest.raises(ValueError):
+            relative_position_arrays([0], [0], [0], 5)
+        with pytest.raises(ValueError):
+            relative_position_arrays([3], [3], [0], 5)
+        with pytest.raises(ValueError):
+            segment_id_arrays([2], [0], [2])
+        assert segment_id_arrays([], [], []).size == 0
+
+
+class TestTextEdgeCases:
+    """Entity mentions at boundaries and clamping-at-the-limit behaviour."""
+
+    def test_entity_at_sentence_boundary(self):
+        # Head at token 0, tail at the last token: segment 1 spans everything.
+        heads, tails = relative_positions(6, 0, 5, 10)
+        assert heads[0] == 10 and tails[5] == 10
+        segments = segment_ids_for_entities(6, 0, 5)
+        np.testing.assert_array_equal(segments, [0, 1, 1, 1, 1, 1])
+        flat_h, flat_t = relative_position_arrays([6], [0], [5], 10)
+        np.testing.assert_array_equal(flat_h, heads)
+        np.testing.assert_array_equal(flat_t, tails)
+
+    def test_position_clamping_at_max_distance(self):
+        max_distance = 4
+        heads, _ = relative_positions(20, 0, 0, max_distance)
+        # Distances beyond +/-max_distance saturate at the vocabulary edges.
+        assert heads[0] == max_distance
+        assert max(heads) == 2 * max_distance
+        assert heads[max_distance:] == [2 * max_distance] * (20 - max_distance)
+        flat, _ = relative_position_arrays([20], [0], [0], max_distance)
+        assert flat.max() == 2 * max_distance and flat.min() == max_distance
+
+    def test_single_token_sentence(self):
+        heads, tails = relative_positions(1, 0, 0, 5)
+        assert heads == [5] and tails == [5]
+        np.testing.assert_array_equal(segment_ids_for_entities(1, 0, 0), [0])
