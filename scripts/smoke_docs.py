@@ -27,7 +27,13 @@ SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-DEFAULT_DOCS = ["README.md", "docs/architecture.md", "docs/serving.md", "docs/api.md"]
+DEFAULT_DOCS = [
+    "README.md",
+    "docs/architecture.md",
+    "docs/serving.md",
+    "docs/daemon.md",
+    "docs/api.md",
+]
 
 _FENCE = re.compile(
     r"^```(?P<info>[^\n]*)\n(?P<body>.*?)^```\s*$",

@@ -18,7 +18,9 @@ The package is organised as:
   declarative experiment registry and structured :class:`ExperimentResult`;
 * :mod:`repro.batch` — shared padded-batch layer: one vectorized forward for
   training (autograd-capable) and serving;
-* :mod:`repro.serve` — batched inference service over a trained model;
+* :mod:`repro.serve` — batched inference service over a trained model, plus
+  the long-lived online serving daemon (:class:`repro.serve.ServingDaemon`:
+  adaptive micro-batching, hot checkpoint reload, metrics);
 * :mod:`repro.utils` — logging, rng, serialization, the artifact cache and
   the versioned model-checkpoint format (:mod:`repro.utils.checkpoint`);
 * :mod:`repro.api` — the :class:`Session` facade tying experiments, training
@@ -31,6 +33,7 @@ See ``README.md`` for the module map and the paper table/figure index, and
 
 from . import batch, nn, serve
 from .config import (
+    DaemonConfig,
     ExperimentConfig,
     GraphEmbeddingConfig,
     ModelConfig,
@@ -62,11 +65,11 @@ from .core import (
 from .eval import HeldOutEvaluator
 from .graph import EntityEmbeddings, EntityProximityGraph, LineConfig, train_entity_embeddings
 from .kb import KnowledgeBase, KnowledgeBaseGenerator, RelationSchema
-from .serve import PredictionRequest, PredictionResult, PredictionService
+from .serve import PredictionRequest, PredictionResult, PredictionService, ServingDaemon
 from .training import Trainer
 from .utils import ArtifactCache
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 # The facade imports the experiment registry and CLI helpers, so it must come
 # after every subsystem above is initialised.
@@ -115,6 +118,8 @@ __all__ = [
     "PredictionService",
     "PredictionRequest",
     "PredictionResult",
+    "ServingDaemon",
+    "DaemonConfig",
     "ArtifactCache",
     "api",
     "Session",

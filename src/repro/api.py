@@ -25,12 +25,13 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from .cli import resolve_profile
-from .config import ScaleProfile
+from .config import DaemonConfig, ScaleProfile
 from .eval.heldout import EvaluationResult
 from .experiments import registry
 from .experiments.pipeline import ExperimentContext, prepare_context, train_and_evaluate
 from .experiments.registry import ExperimentSpec
 from .experiments.results import ExperimentResult
+from .serve.daemon import ServingDaemon
 from .serve.service import PredictionService
 from .utils.artifacts import ArtifactCache
 from .utils.checkpoint import checkpointable_model
@@ -152,6 +153,36 @@ class Session:
         dataset: str = "nyt",
         batch_size: int = 32,
     ) -> PredictionService:
-        """An in-process :class:`PredictionService` over a trained method/model."""
+        """An in-process :class:`PredictionService` over a trained method/model.
+
+        Also accepts a method *name* (``session.service("pa_tmr")``): the
+        method is trained through :meth:`train` first, reusing the context's
+        per-method cache, so repeated calls do not retrain.
+        """
+        if isinstance(method_or_model, str):
+            method_or_model = self.train(method_or_model, dataset=dataset)[0]
         model = checkpointable_model(method_or_model)
         return PredictionService.from_context(self.context(dataset), model, batch_size=batch_size)
+
+    def daemon(
+        self,
+        method_or_model,
+        dataset: str = "nyt",
+        batch_size: int = 32,
+        config: Optional[DaemonConfig] = None,
+    ) -> ServingDaemon:
+        """A :class:`ServingDaemon` over a trained method/model (not started).
+
+        Like :meth:`service`, also accepts a method name
+        (``session.daemon("pa_tmr")`` trains via the cached context first).
+
+        The daemon coalesces concurrent single requests into padded batches
+        under the session profile's latency deadline (``config`` defaults to
+        :meth:`ScaleProfile.daemon_config`).  Use it as a context manager —
+        ``with session.daemon(method) as daemon: daemon.predict(...)`` — or
+        call :meth:`~repro.serve.ServingDaemon.start` /
+        :meth:`~repro.serve.ServingDaemon.close` explicitly.  See
+        ``docs/daemon.md``.
+        """
+        service = self.service(method_or_model, dataset=dataset, batch_size=batch_size)
+        return ServingDaemon(service, config=config or self.profile.daemon_config())

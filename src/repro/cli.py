@@ -273,11 +273,16 @@ def _parse_sentence(sentence, request_index: int):
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import PredictionService
 
+    if args.stats and not args.daemon:
+        raise UsageError("--stats requires --daemon (the offline path keeps no metrics)")
     # Parse the requests first: a malformed file should fail fast, before
     # paying the checkpoint hash-verify/rebuild cold start.
     requests = _load_requests(args.requests)
     service = PredictionService.from_checkpoint(args.checkpoint, batch_size=args.batch_size)
-    results = service.predict_batch(requests, top_k=args.top_k)
+    if args.daemon:
+        results, stats = _serve_via_daemon(service, requests, args)
+    else:
+        results, stats = service.predict_batch(requests, top_k=args.top_k), None
     payload = [
         {
             "head": result.head,
@@ -301,7 +306,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"wrote {len(payload)} predictions to {output}")
     else:
         sys.stdout.write(text)
+    if args.stats and stats is not None:
+        # Stats go to stderr so stdout stays a clean predictions document.
+        print(json.dumps(stats, indent=2, default=str), file=sys.stderr)
     return 0
+
+
+def _serve_via_daemon(service, requests, args: argparse.Namespace):
+    """Answer the request file through a :class:`ServingDaemon`.
+
+    All requests are submitted up front (the closed queue of a file stands
+    in for concurrent traffic, so the coalescer forms real multi-request
+    batches) and gathered in order; the daemon is drained before returning.
+    Returns ``(results, stats_snapshot)``.
+    """
+    from .config import DaemonConfig
+    from .serve import ServingDaemon
+
+    config = DaemonConfig(
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        queue_limit=max(args.queue_limit, len(requests)),
+        num_workers=args.workers,
+    )
+    config.validate()
+    with ServingDaemon(service, config=config) as daemon:
+        futures = [daemon.submit(request, top_k=args.top_k) for request in requests]
+        results = [future.result() for future in futures]
+        stats = daemon.stats()
+    return results, stats
 
 
 # ---------------------------------------------------------------------- #
@@ -367,6 +400,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--top-k", type=int, default=3)
     serve_parser.add_argument("--batch-size", type=int, default=32)
     serve_parser.add_argument("--output", default="-", help="output file ('-' for stdout)")
+    serve_parser.add_argument(
+        "--daemon",
+        action="store_true",
+        help="serve through the online daemon (adaptive micro-batching) "
+        "instead of one offline batch call",
+    )
+    serve_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="with --daemon: print the metrics snapshot (counters, batch "
+        "occupancy, latency quantiles) to stderr",
+    )
+    serve_parser.add_argument(
+        "--max-batch-size", type=int, default=32, help="daemon: requests per coalesced batch"
+    )
+    serve_parser.add_argument(
+        "--max-wait-ms", type=float, default=2.0, help="daemon: coalescing latency deadline"
+    )
+    serve_parser.add_argument(
+        "--queue-limit", type=int, default=256, help="daemon: backpressure queue bound"
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=1, help="daemon: batch executor threads"
+    )
     serve_parser.set_defaults(func=_cmd_serve)
     return parser
 

@@ -184,6 +184,45 @@ class GraphEmbeddingConfig:
 
 
 @dataclass
+class DaemonConfig:
+    """Knobs of the online serving daemon (:mod:`repro.serve.daemon`).
+
+    The daemon coalesces single-bag requests into padded batches under a
+    latency deadline: a batch is dispatched as soon as ``max_batch_size``
+    requests are waiting or ``max_wait_ms`` has elapsed since the oldest
+    queued request, whichever comes first.  ``max_wait_ms=0`` disables
+    coalescing (every request becomes its own batch, the lowest-latency /
+    lowest-throughput setting).
+    """
+
+    max_batch_size: int = 32       # requests coalesced into one forward pass
+    max_wait_ms: float = 2.0       # deadline before a partial batch dispatches
+    queue_limit: int = 256         # queued + in-flight requests before backpressure
+    num_workers: int = 1           # executor threads running the vectorized forward
+    latency_window: int = 4096     # latency samples kept for quantile estimates
+
+    def validate(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ConfigurationError("max_batch_size must be positive")
+        if self.max_wait_ms < 0:
+            raise ConfigurationError("max_wait_ms must be >= 0 (0 disables coalescing)")
+        if self.queue_limit <= 0:
+            raise ConfigurationError("queue_limit must be positive")
+        if self.num_workers <= 0:
+            raise ConfigurationError("num_workers must be positive")
+        if self.latency_window <= 0:
+            raise ConfigurationError("latency_window must be positive")
+
+    @property
+    def max_wait_seconds(self) -> float:
+        """The coalescing deadline in seconds (the clock unit the daemon uses)."""
+        return self.max_wait_ms / 1000.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return asdict(self)
+
+
+@dataclass
 class ScaleProfile:
     """Scale of the synthetic datasets and training runs.
 
@@ -211,6 +250,13 @@ class ScaleProfile:
     # ExperimentConfig.for_profile and settable via the runner CLI.
     propagation_layers: int = 0
     propagation_alpha: float = 0.5
+    # Online serving daemon knobs (repro.serve.daemon), forwarded into
+    # DaemonConfig by daemon_config(); the benchmark harness and the CLI's
+    # `serve --daemon` path read them from the profile.
+    daemon_max_batch_size: int = 32
+    daemon_max_wait_ms: float = 2.0
+    daemon_queue_limit: int = 256
+    daemon_workers: int = 1
 
     @classmethod
     def tiny(cls) -> "ScaleProfile":
@@ -269,6 +315,17 @@ class ScaleProfile:
             batched_training=self.batched_training,
         )
         config.batch_size = max(8, min(32, self.model_config().batch_size))
+        return config
+
+    def daemon_config(self) -> DaemonConfig:
+        """Serving-daemon configuration scaled to this profile."""
+        config = DaemonConfig(
+            max_batch_size=self.daemon_max_batch_size,
+            max_wait_ms=self.daemon_max_wait_ms,
+            queue_limit=self.daemon_queue_limit,
+            num_workers=self.daemon_workers,
+        )
+        config.validate()
         return config
 
 

@@ -35,3 +35,15 @@ class ModelError(ReproError):
 
 class CheckpointError(ReproError):
     """Raised when a model checkpoint is missing, corrupt or incompatible."""
+
+
+class ServiceError(ReproError):
+    """Raised by the online serving daemon for operational failures.
+
+    Covers queue-full backpressure (the bounded request queue rejects new
+    work instead of letting latency grow without bound), submitting to a
+    daemon that is not running, and shutdown that exceeds its drain
+    timeout.  Model/data problems inside a batch keep their original typed
+    exception (:class:`DataError`, :class:`ModelError`, ...) when routed
+    back through a request's future.
+    """

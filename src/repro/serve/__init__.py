@@ -15,9 +15,23 @@ serving half and adds the request/response API:
 * :mod:`repro.batch.inference` — vectorized serving forward pass;
 * :mod:`repro.serve.service` — :class:`PredictionService`, the user-facing
   request/response API.
+
+For long-lived concurrent serving the package also hosts the online daemon
+(see ``docs/daemon.md``):
+
+* :mod:`repro.serve.coalescer` — pure deadline-driven micro-batch formation
+  (:class:`BatchCoalescer`), deterministic-testable with a fake clock;
+* :mod:`repro.serve.daemon` — :class:`ServingDaemon`, the asyncio request
+  loop with bounded-queue backpressure, multi-worker dispatch and hot
+  checkpoint reload;
+* :mod:`repro.serve.metrics` — :class:`DaemonMetrics`, the observability
+  surface (counters, batch-occupancy histogram, latency quantiles).
 """
 
 from ..batch import MergedBagBatch, batched_predict_probabilities, merge_encoded_bags
+from .coalescer import BatchCoalescer, PendingRequest
+from .daemon import ServingDaemon
+from .metrics import DaemonMetrics
 from .service import (
     PredictionRequest,
     PredictionResult,
@@ -32,6 +46,10 @@ __all__ = [
     "PredictionResult",
     "RelationPrediction",
     "ServiceStats",
+    "ServingDaemon",
+    "BatchCoalescer",
+    "PendingRequest",
+    "DaemonMetrics",
     "merge_encoded_bags",
     "MergedBagBatch",
     "batched_predict_probabilities",

@@ -299,10 +299,12 @@ class PredictionService:
         self, requests: Sequence[PredictionRequest], top_k: int = 3
     ) -> List[PredictionResult]:
         """Encode and predict a batch of requests, returning top-k relations."""
+        if len(requests) == 0:
+            return []
         encoded = [self.encode_request(request) for request in requests]
         probabilities = self.predict_encoded(encoded)
         return [
-            self._result(request, row, top_k)
+            self.build_result(request, row, top_k)
             for request, row in zip(requests, probabilities)
         ]
 
@@ -310,9 +312,15 @@ class PredictionService:
         """Predict a single request (a batch of one)."""
         return self.predict_batch([request], top_k=top_k)[0]
 
-    def _result(
+    def build_result(
         self, request: PredictionRequest, probabilities: np.ndarray, top_k: int
     ) -> PredictionResult:
+        """Format one probability row into a named top-k :class:`PredictionResult`.
+
+        Pure formatting over the schema — no model work; the serving daemon
+        uses it to turn a coalesced batch's probability rows back into
+        per-request answers.
+        """
         k = max(1, min(top_k, len(probabilities)))
         top_ids = np.argsort(-probabilities)[:k]
         predictions = [

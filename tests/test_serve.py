@@ -179,6 +179,44 @@ class TestPredictionService:
         assert service.stats.sentences == sum(bag.num_sentences for bag in bags)
 
 
+class TestEmptyInputFastPaths:
+    """Zero-request inputs short-circuit before batch assembly.
+
+    Regression tests: an empty request list used to walk into the encode
+    loop, and an empty bag list must never reach :func:`merge_encoded_bags`
+    / :func:`merge_store_batch` (both reject empty input by contract — a
+    merged batch with zero rows has no well-defined padded width).
+    """
+
+    @pytest.fixture()
+    def service(self, nyt_context, trained_pa_tmr):
+        return PredictionService.from_context(nyt_context, trained_pa_tmr[0].model)
+
+    def test_predict_batch_empty_returns_empty_list(self, service):
+        before = service.stats.batches
+        assert service.predict_batch([]) == []
+        assert service.stats.batches == before
+
+    def test_predict_encoded_empty_returns_zero_rows(self, service):
+        before = service.stats.batches
+        result = service.predict_encoded([])
+        assert result.shape == (0, service.model.num_relations)
+        assert result.dtype == np.float64
+        # The fast path never touched batch assembly or the forward pass.
+        assert service.stats.batches == before
+
+    def test_merge_store_batch_empty_indices_raises_typed_error(self, nyt_context):
+        from repro.batch.merging import merge_store_batch
+
+        with pytest.raises(DataError):
+            merge_store_batch(nyt_context.test_encoded, np.array([], dtype=np.int64))
+
+    def test_predict_encoded_empty_store_selection(self, service, nyt_context):
+        empty_view = nyt_context.test_encoded[0:0]
+        result = service.predict_encoded(empty_view)
+        assert result.shape == (0, service.model.num_relations)
+
+
 class TestPublicDocstrings:
     def test_every_public_symbol_is_documented(self):
         undocumented = []
