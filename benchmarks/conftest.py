@@ -15,6 +15,7 @@ scale used for the numbers recorded in EXPERIMENTS.md.
 from __future__ import annotations
 
 import os
+import resource
 import sys
 from pathlib import Path
 
@@ -32,11 +33,38 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 SEED = 0
 
 
+def peak_rss_mb() -> float:
+    """This process's lifetime peak resident set size, in MiB.
+
+    On Linux, read ``VmHWM`` from ``/proc/self/status`` — ``ru_maxrss`` can
+    carry the forking parent's peak across ``exec`` and misreport the
+    launcher's footprint as ours.  Elsewhere fall back to ``ru_maxrss``
+    (kilobytes on Linux, bytes on macOS).
+    """
+    if sys.platform.startswith("linux"):
+        try:
+            with open("/proc/self/status", "r", encoding="ascii") as handle:
+                for line in handle:
+                    if line.startswith("VmHWM:"):
+                        return int(line.split()[1]) / 1024
+        except OSError:
+            pass
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024 * 1024)
+    return peak / 1024
+
+
 def write_report(name: str, content: str) -> Path:
-    """Persist a regenerated table/figure next to the benchmarks."""
+    """Persist a regenerated table/figure next to the benchmarks.
+
+    Every report carries a peak-RSS footer so the recorded numbers always
+    come with the memory footprint of the process that produced them.
+    """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
-    path.write_text(content + "\n", encoding="utf-8")
+    footer = f"\n[peak RSS of benchmark process: {peak_rss_mb():.1f} MiB]"
+    path.write_text(content + footer + "\n", encoding="utf-8")
     return path
 
 
@@ -47,6 +75,7 @@ def bench_profile() -> ScaleProfile:
         "tiny": ScaleProfile.tiny,
         "small": ScaleProfile.small,
         "medium": ScaleProfile.medium,
+        "huge": ScaleProfile.huge,
     }
     if name not in profiles:
         raise ValueError(f"unknown REPRO_BENCH_PROFILE '{name}'")

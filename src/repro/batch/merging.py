@@ -162,6 +162,11 @@ def merge_store_batch(store: CorpusStore, indices: np.ndarray) -> MergedBagBatch
     gather plan per batch (``concat_ranges`` over the store's offset
     indices), which is what makes store-backed batch assembly a hot path
     (``benchmarks/test_bench_corpus.py``).
+
+    Works unchanged against a memmapped store: every access here is a fancy
+    gather, which both ``np.memmap`` and the stitched
+    :class:`~repro.corpus.store.ShardedColumn` answer with a small in-RAM
+    copy sized by the batch, never by the corpus.
     """
     indices = np.asarray(indices, dtype=np.int64)
     if indices.size == 0:

@@ -43,6 +43,7 @@ PROFILES: Dict[str, Callable[[], ScaleProfile]] = {
     "tiny": ScaleProfile.tiny,
     "small": ScaleProfile.small,
     "medium": ScaleProfile.medium,
+    "huge": ScaleProfile.huge,
 }
 
 
@@ -66,6 +67,8 @@ def apply_profile_overrides(
     propagation_layers: Optional[int] = None,
     propagation_alpha: Optional[float] = None,
     epochs: Optional[int] = None,
+    mmap: Optional[bool] = None,
+    encode_workers: Optional[int] = None,
 ) -> ScaleProfile:
     """Apply the CLI's profile-tuning flags in place; returns the profile."""
     if per_bag_training:
@@ -78,6 +81,12 @@ def apply_profile_overrides(
         if epochs <= 0:
             raise ConfigurationError("--epochs must be positive")
         profile.epochs = epochs
+    if mmap is not None:
+        profile.mmap = mmap
+    if encode_workers is not None:
+        if encode_workers < 0:
+            raise ConfigurationError("--encode-workers must be >= 0")
+        profile.encode_workers = encode_workers
     return profile
 
 
@@ -136,6 +145,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         per_bag_training=args.per_bag_training,
         propagation_layers=args.propagation_layers,
         propagation_alpha=args.propagation_alpha,
+        mmap=args.mmap,
+        encode_workers=args.encode_workers,
     )
     cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
     execute_experiments(
@@ -189,7 +200,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
             f"method '{args.method}' does not produce a checkpointable neural "
             "model; choose a NeuralREModel-based method (e.g. pa_tmr, pcnn_att)"
         )
-    profile = apply_profile_overrides(resolve_profile(args.profile), epochs=args.epochs)
+    profile = apply_profile_overrides(
+        resolve_profile(args.profile),
+        epochs=args.epochs,
+        mmap=args.mmap,
+        encode_workers=args.encode_workers,
+    )
     cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
     context = prepare_context(args.dataset, profile=profile, seed=args.seed, cache=cache)
     method, evaluation = train_and_evaluate(context, args.method)
@@ -368,6 +384,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--propagation-layers", type=int, default=None)
     run_parser.add_argument("--propagation-alpha", type=float, default=None)
+    run_parser.add_argument(
+        "--mmap",
+        action="store_true",
+        default=None,
+        help="serve encoded corpora from memmapped format-v3 shards (out-of-core)",
+    )
+    run_parser.add_argument(
+        "--encode-workers",
+        type=int,
+        default=None,
+        help="fork this many corpus-encode workers (0/1 = serial)",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     list_parser = subparsers.add_parser("list", help="list registered experiments")
@@ -385,6 +413,18 @@ def build_parser() -> argparse.ArgumentParser:
     train_parser.add_argument("--cache-dir", default=None)
     train_parser.add_argument(
         "--checkpoint", required=True, help="directory to write the checkpoint to"
+    )
+    train_parser.add_argument(
+        "--mmap",
+        action="store_true",
+        default=None,
+        help="train from memmapped format-v3 corpus shards (out-of-core)",
+    )
+    train_parser.add_argument(
+        "--encode-workers",
+        type=int,
+        default=None,
+        help="fork this many corpus-encode workers (0/1 = serial)",
     )
     train_parser.set_defaults(func=_cmd_train)
 

@@ -257,6 +257,17 @@ class ScaleProfile:
     daemon_max_wait_ms: float = 2.0
     daemon_queue_limit: int = 256
     daemon_workers: int = 1
+    # Out-of-core corpus engine knobs (PR 7).  `encode_workers` > 1 fans
+    # BagEncoder.encode_store out over forked workers (0/1 = serial, the
+    # deterministic tier-1 default — parallel results are bitwise identical,
+    # serial just avoids fork overhead at test scale).  `mmap` makes
+    # prepare_context persist encoded corpora as format-v3 shard directories
+    # and hand out memmapped stores instead of materialising them.
+    # `stream_num_bags` sizes the generator-backed synthetic corpus the
+    # out-of-core benchmarks use (0 = not an out-of-core profile).
+    encode_workers: int = 0
+    mmap: bool = False
+    stream_num_bags: int = 0
 
     @classmethod
     def tiny(cls) -> "ScaleProfile":
@@ -294,6 +305,24 @@ class ScaleProfile:
             epochs=15,
             model_scale=0.5,
         )
+
+    @classmethod
+    def huge(cls) -> "ScaleProfile":
+        """The out-of-core profile: a million-bag synthetic stream corpus.
+
+        Dataset/model fields match :meth:`medium` (running a tabular
+        experiment at ``huge`` behaves like ``medium``); what makes it huge
+        is the generator-backed stream corpus (``stream_num_bags``) consumed
+        by ``benchmarks/test_bench_outofcore.py``, encoded with parallel
+        workers and served from memmapped format-v3 shards — none of which
+        fits the in-RAM path at this scale.
+        """
+        profile = cls.medium()
+        profile.name = "huge"
+        profile.stream_num_bags = 1_000_000
+        profile.encode_workers = 2
+        profile.mmap = True
+        return profile
 
     def model_config(self) -> ModelConfig:
         """Model configuration scaled to this profile."""

@@ -17,11 +17,17 @@ from .datasets import (
     pair_frequency_histogram,
 )
 from .loader import BagEncoder, BatchIterator
-from .store import CorpusStore, load_corpus
+from .store import CorpusStore, ShardedColumn, load_corpus, merge_shard_stores
+from .stream import stream_bags, synthetic_store, synthetic_vocabulary
 
 __all__ = [
     "CorpusStore",
+    "ShardedColumn",
+    "merge_shard_stores",
     "load_corpus",
+    "stream_bags",
+    "synthetic_store",
+    "synthetic_vocabulary",
     "SentenceExample",
     "Bag",
     "EncodedBag",

@@ -25,6 +25,10 @@ index arrays (store sources).
 
 from __future__ import annotations
 
+import multiprocessing
+import shutil
+import tempfile
+from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -40,7 +44,7 @@ from ..text.position import (
 from ..text.vocab import Vocabulary
 from ..utils.arrays import offsets_from_sizes
 from .bags import Bag, EncodedBag
-from .store import CorpusStore
+from .store import CorpusStore, merge_shard_stores
 
 
 class TypeVocabulary:
@@ -186,7 +190,13 @@ class BagEncoder:
         """Encode every bag in a dataset split (per-bag reference path)."""
         return [self.encode(bag) for bag in bags]
 
-    def encode_store(self, bags: Sequence[Bag]) -> CorpusStore:
+    def encode_store(
+        self,
+        bags: Sequence[Bag],
+        workers: int = 0,
+        out=None,
+        mmap: bool = False,
+    ) -> CorpusStore:
         """Encode a whole split into a columnar :class:`CorpusStore`.
 
         Vectorized equivalent of :meth:`encode_all` — same truncation,
@@ -194,7 +204,93 @@ class BagEncoder:
         ``tests/test_corpus_store.py`` — but all tokens of the corpus are
         mapped through the vocabulary in one ``np.searchsorted`` pass and the
         position / segment features are computed as flat array expressions.
+
+        ``workers > 1`` fans the encode out over contiguous bag ranges with
+        fork-based :mod:`multiprocessing` (see :meth:`_encode_store_parallel`;
+        results are bitwise identical to the serial path).  ``out`` writes
+        the result as a format-v3 shard directory at that path, and
+        ``mmap=True`` (requires ``out``) returns the store memmapped from
+        those shards instead of in RAM — the combination the out-of-core
+        pipeline uses so a corpus larger than memory is never materialised.
         """
+        if mmap and out is None:
+            raise DataError(
+                "encode_store(mmap=True) needs out= (a shard-directory path "
+                "to memmap the encoded corpus from)"
+            )
+        if out is not None and Path(out).suffix == ".npz":
+            raise DataError(
+                "encode_store(out=...) writes the format-v3 shard directory; "
+                "pass a directory path, not an .npz file"
+            )
+        workers = int(workers)
+        if (
+            workers > 1
+            and len(bags) >= 2 * workers
+            and "fork" in multiprocessing.get_all_start_methods()
+        ):
+            return self._encode_store_parallel(bags, workers, out=out, mmap=mmap)
+        store = self._encode_store_serial(bags)
+        if out is not None:
+            store.save_sharded(Path(out))
+            if mmap:
+                return CorpusStore.load(Path(out), mmap=True)
+        return store
+
+    def _encode_store_parallel(
+        self,
+        bags: Sequence[Bag],
+        workers: int,
+        out=None,
+        mmap: bool = False,
+    ) -> CorpusStore:
+        """Fan the encode out over contiguous bag ranges with forked workers.
+
+        Each worker runs the serial vectorized encoder on its slice and
+        writes an independent format-v3 part store (its own shard files);
+        the parent then merges the parts by *renaming* shard files into
+        place (:func:`repro.corpus.store.merge_shard_stores`) — no column
+        data is ever pickled, sent over a pipe, or re-read.  Forking means
+        the bags reach the children through copy-on-write pages; the
+        vocabulary lookup table is warmed first so children inherit it too.
+        Encoding is deterministic, so the result is bitwise identical to the
+        serial path regardless of worker count.
+        """
+        self.vocabulary.warm_lookup()
+        bounds = np.linspace(0, len(bags), workers + 1).astype(np.int64)
+        scratch = Path(tempfile.mkdtemp(prefix="repro-encode-"))
+        context = multiprocessing.get_context("fork")
+        try:
+            part_paths = []
+            processes = []
+            for rank, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
+                part = scratch / f"part-{rank:03d}"
+                part_paths.append(part)
+                process = context.Process(
+                    target=_encode_worker,
+                    args=(self, bags, int(lo), int(hi), part),
+                )
+                process.start()
+                processes.append(process)
+            failed = []
+            for rank, process in enumerate(processes):
+                process.join()
+                if process.exitcode != 0:
+                    failed.append((rank, process.exitcode))
+            if failed:
+                raise DataError(
+                    "encode worker(s) failed: "
+                    + ", ".join(f"rank {r} exit {c}" for r, c in failed)
+                    + " (tracebacks on stderr)"
+                )
+            target = Path(out) if out is not None else scratch / "merged"
+            merge_shard_stores(target, part_paths)
+            return CorpusStore.load(target, mmap=mmap)
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    def _encode_store_serial(self, bags: Sequence[Bag]) -> CorpusStore:
+        """The in-process vectorized encode (see :meth:`encode_store`)."""
         num_bags = len(bags)
         counts = np.empty(num_bags, dtype=np.int64)
         labels = np.empty(num_bags, dtype=np.int64)
@@ -302,6 +398,17 @@ class BagEncoder:
         keep[offsets[:-1][empty]] = False
         flat[keep] = encoded
         return flat, offsets
+
+
+def _encode_worker(encoder: BagEncoder, bags: Sequence[Bag], lo: int, hi: int, part_path: Path) -> None:
+    """Encode bags ``[lo, hi)`` into a part store (runs in a forked child).
+
+    The child inherits ``encoder`` and ``bags`` through copy-on-write fork
+    pages and hands its result back through the part store's shard files, so
+    nothing is pickled in either direction.
+    """
+    store = encoder._encode_store_serial(bags[lo:hi])
+    store.save_sharded(part_path)
 
 
 def save_encoded_bags(path, bags: Sequence[EncodedBag]) -> None:

@@ -1,0 +1,313 @@
+"""Generator-backed synthetic corpora for out-of-core scale work.
+
+The dataset builders in :mod:`repro.corpus.datasets` produce statistically
+faithful bundles through the full template pipeline — fine at profile scale,
+far too slow for the million-bag corpora the out-of-core engine
+(:mod:`repro.corpus.store`, format v3) must handle.  This module trades
+statistical fidelity for throughput:
+
+* :func:`stream_bags` — a generator of cheap :class:`~repro.corpus.bags.Bag`
+  objects drawn in vectorized chunks, for exercising the (parallel) encoder
+  on corpora that never exist as one Python list;
+* :func:`synthetic_store` — a fully vectorized direct
+  :class:`~repro.corpus.store.CorpusStore` construction (millions of bags in
+  seconds), for benchmarks that need a huge *encoded* corpus on disk without
+  paying for encoding it;
+* ``python -m repro.corpus.stream`` — the out-of-core probe: a small
+  subprocess entry point that loads a saved store (in RAM or memmapped),
+  trains a few batches and serves a slice, printing JSON timings, peak RSS
+  and a probability checksum.  The memory-budget test and
+  ``benchmarks/test_bench_outofcore.py`` run it as a child process so each
+  mode's memory behaviour is measured in a clean address space, optionally
+  under a hard ``RLIMIT_DATA`` cap.
+
+ROADMAP item 3 (streaming ingestion) will grow real readers behind the same
+generator contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..text.position import relative_position_arrays, segment_id_arrays
+from ..text.vocab import Vocabulary
+from ..utils.arrays import offsets_from_sizes
+from .bags import Bag, SentenceExample
+from .store import CorpusStore
+
+DEFAULT_VOCAB_SIZE = 2000
+
+
+def synthetic_vocabulary(num_words: int = DEFAULT_VOCAB_SIZE) -> Vocabulary:
+    """A deterministic vocabulary of ``num_words`` synthetic word types.
+
+    Word ``i`` is ``w<i>`` and (after the reserved PAD/UNK ids 0 and 1) gets
+    id ``i + 2`` — the id layout :func:`synthetic_store` draws token ids
+    from, so streamed and directly constructed corpora agree.
+    """
+    return Vocabulary(f"w{i:05d}" for i in range(num_words))
+
+
+def stream_bags(
+    num_bags: int,
+    vocab_size: int = DEFAULT_VOCAB_SIZE,
+    num_relations: int = 12,
+    num_entities: int = 10_000,
+    max_sentences_per_bag: int = 3,
+    min_sentence_length: int = 6,
+    max_sentence_length: int = 14,
+    seed: int = 0,
+    chunk: int = 4096,
+) -> Iterator[Bag]:
+    """Yield ``num_bags`` cheap synthetic bags without holding them all.
+
+    Randomness is drawn in vectorized chunks (``chunk`` bags at a time) so
+    the generator runs at array speed; only the current chunk's Bag objects
+    exist at once, which is what lets the encoder's out-of-core path consume
+    corpora far larger than RAM.  Deterministic in ``seed``.
+    """
+    if num_bags < 0:
+        raise ValueError("num_bags must be non-negative")
+    words = np.array([f"w{i:05d}" for i in range(vocab_size)], dtype=np.str_)
+    rng = np.random.default_rng(seed)
+    produced = 0
+    while produced < num_bags:
+        count = min(chunk, num_bags - produced)
+        sentence_counts = rng.integers(1, max_sentences_per_bag + 1, size=count)
+        total_sentences = int(sentence_counts.sum())
+        lengths = rng.integers(
+            min_sentence_length, max_sentence_length + 1, size=total_sentences
+        )
+        token_words = words[rng.integers(0, vocab_size, size=int(lengths.sum()))]
+        heads = rng.integers(0, num_entities, size=count)
+        tails = rng.integers(0, num_entities, size=count)
+        labels = rng.integers(0, num_relations, size=count)
+        token_offsets = offsets_from_sizes(lengths)
+        sentence_offsets = offsets_from_sizes(sentence_counts)
+        for i in range(count):
+            sentences: List[SentenceExample] = []
+            for s in range(int(sentence_offsets[i]), int(sentence_offsets[i + 1])):
+                tokens = token_words[
+                    int(token_offsets[s]):int(token_offsets[s + 1])
+                ].tolist()
+                sentences.append(
+                    SentenceExample(
+                        tokens=tokens,
+                        head_position=0,
+                        tail_position=len(tokens) - 1,
+                    )
+                )
+            yield Bag(
+                head_id=int(heads[i]),
+                tail_id=int(tails[i]),
+                head_name=f"e{int(heads[i])}",
+                tail_name=f"e{int(tails[i])}",
+                head_types=(),
+                tail_types=(),
+                relation_ids={int(labels[i])},
+                sentences=sentences,
+            )
+        produced += count
+
+
+def synthetic_store(
+    num_bags: int,
+    vocab_size: int = DEFAULT_VOCAB_SIZE,
+    num_relations: int = 12,
+    num_entities: int = 10_000,
+    min_sentence_length: int = 6,
+    max_sentence_length: int = 14,
+    max_position_distance: int = 60,
+    seed: int = 0,
+) -> CorpusStore:
+    """Directly construct a valid single-sentence-per-bag :class:`CorpusStore`.
+
+    Pure array expressions end to end (no Bag objects, no encoder), so a
+    million-bag store builds in seconds — the scale the RSS benchmarks and
+    the memory-budget test need.  Position and segment columns come from the
+    same :mod:`repro.text.position` kernels the real encoder uses (head at
+    token 0, tail at the last token), so every downstream consumer treats
+    the result exactly like an encoded corpus.  Deterministic in ``seed``.
+    """
+    if num_bags <= 0:
+        raise ValueError("num_bags must be positive")
+    if min_sentence_length < 2:
+        raise ValueError("min_sentence_length must be at least 2")
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(
+        min_sentence_length, max_sentence_length + 1, size=num_bags
+    ).astype(np.int64)
+    sentence_offsets = offsets_from_sizes(lengths)
+    total_tokens = int(sentence_offsets[-1])
+    token_ids = rng.integers(2, vocab_size + 2, size=total_tokens).astype(np.int64)
+    head_idx = np.zeros(num_bags, dtype=np.int64)
+    tail_idx = lengths - 1
+    head_pos, tail_pos = relative_position_arrays(
+        lengths, head_idx, tail_idx, max_position_distance
+    )
+    segments = segment_id_arrays(lengths, head_idx, tail_idx)
+    bag_range = np.arange(num_bags + 1, dtype=np.int64)
+    labels = rng.integers(0, num_relations, size=num_bags).astype(np.int64)
+    return CorpusStore(
+        token_ids=token_ids,
+        head_position_ids=head_pos,
+        tail_position_ids=tail_pos,
+        segment_ids=segments,
+        sentence_offsets=sentence_offsets,
+        bag_offsets=bag_range,
+        bag_widths=lengths.copy(),
+        labels=labels,
+        head_entity_ids=rng.integers(0, num_entities, size=num_bags).astype(np.int64),
+        tail_entity_ids=rng.integers(0, num_entities, size=num_bags).astype(np.int64),
+        relation_ids=labels.copy(),
+        relation_offsets=bag_range.copy(),
+        head_type_ids=np.zeros(num_bags, dtype=np.int64),
+        head_type_offsets=bag_range.copy(),
+        tail_type_ids=np.zeros(num_bags, dtype=np.int64),
+        tail_type_offsets=bag_range.copy(),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# The out-of-core probe (subprocess entry point)
+# ---------------------------------------------------------------------- #
+def _vm_status_kb(field: str) -> int:
+    """One ``Vm*`` line of ``/proc/self/status``, in kB."""
+    prefix = field + ":"
+    with open("/proc/self/status", "r", encoding="ascii") as handle:
+        for line in handle:
+            if line.startswith(prefix):
+                return int(line.split()[1])
+    raise OSError(f"no {field} line in /proc/self/status")
+
+
+def _vmdata_kb() -> int:
+    """Current anonymous data size (VmData) of this process, in kB.
+
+    ``RLIMIT_DATA`` counts brk plus private anonymous mappings — numpy's
+    heap allocations — but NOT file-backed mappings, which is exactly why
+    the budget cap proves the memmap path out-of-core: mapped shard pages
+    are free, materialised columns are not.
+    """
+    return _vm_status_kb("VmData")
+
+
+def _peak_rss_kb() -> int:
+    """Peak resident set size (VmHWM) of this process, in kB.
+
+    Read from ``/proc/self/status`` rather than ``ru_maxrss``: on Linux a
+    child's ``ru_maxrss`` can carry the forking parent's peak across
+    ``exec``, which would report the benchmark harness's footprint as the
+    probe's.  ``VmHWM`` belongs to the process's own fresh address space.
+    """
+    return _vm_status_kb("VmHWM")
+
+
+def run_probe(argv: Optional[Sequence[str]] = None) -> int:
+    """Load a saved store, train a few batches, serve a slice; print JSON.
+
+    Run as ``python -m repro.corpus.stream --store DIR --mode mmap|ram ...``
+    in a child process.  With ``--budget-mb N`` a hard ``RLIMIT_DATA`` cap of
+    (current VmData + N MB) is installed *after* the model is built but
+    *before* the store is touched; a load that materialises the columns then
+    dies with a MemoryError (reported as JSON on stdout, exit code 3) while
+    the memmap path sails under the cap.  Exit code 0 means every stage ran;
+    the JSON carries stage wall-clock times, the peak RSS (``VmHWM``) and a
+    checksum so parent processes can assert RAM/mmap parity.
+    """
+    parser = argparse.ArgumentParser(prog="repro.corpus.stream")
+    parser.add_argument("--store", required=True, help="saved CorpusStore path")
+    parser.add_argument("--mode", choices=("ram", "mmap"), default="mmap")
+    parser.add_argument("--budget-mb", type=int, default=0, help="RLIMIT_DATA headroom; 0 = no cap")
+    parser.add_argument("--train-batches", type=int, default=2)
+    parser.add_argument("--serve-bags", type=int, default=64)
+    parser.add_argument("--batch-size", type=int, default=16)
+    parser.add_argument("--vocab-size", type=int, default=DEFAULT_VOCAB_SIZE)
+    parser.add_argument("--num-relations", type=int, default=12)
+    parser.add_argument("--model-scale", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    # Lazy imports: the probe pulls in the model/serving stack, which must
+    # not become an import-time dependency of the corpus package.
+    from ..batch.merging import merge_store_batch
+    from ..config import ModelConfig, TrainingConfig
+    from ..core.variants import build_model
+    from ..corpus.loader import BagEncoder
+    from ..kb.schema import nyt_schema
+    from ..serve.service import PredictionService
+    from ..training.trainer import Trainer
+
+    model = build_model(
+        "pcnn_att",
+        vocab_size=args.vocab_size + 2,
+        num_relations=args.num_relations,
+        config=ModelConfig.scaled(args.model_scale),
+        rng=np.random.default_rng(args.seed),
+    )
+    trainer = Trainer(
+        model,
+        num_relations=args.num_relations,
+        config=TrainingConfig(
+            epochs=1,
+            batch_size=args.batch_size,
+            optimizer="adam",
+            learning_rate=0.01,
+            seed=args.seed,
+        ),
+    )
+    service = PredictionService(
+        model,
+        encoder=BagEncoder(synthetic_vocabulary(args.vocab_size)),
+        schema=nyt_schema(args.num_relations),
+        batch_size=args.batch_size,
+    )
+
+    import resource
+
+    if args.budget_mb > 0:
+        limit = (_vmdata_kb() + args.budget_mb * 1024) * 1024
+        resource.setrlimit(resource.RLIMIT_DATA, (limit, limit))
+
+    result = {"mode": args.mode, "budget_mb": args.budget_mb, "ok": False}
+    try:
+        start = time.perf_counter()
+        store = CorpusStore.load(args.store, mmap=args.mode == "mmap")
+        result["load_s"] = time.perf_counter() - start
+        result["num_bags"] = len(store)
+
+        start = time.perf_counter()
+        losses = []
+        for index in range(args.train_batches):
+            lo = (index * args.batch_size) % max(len(store) - args.batch_size, 1)
+            indices = np.arange(lo, lo + args.batch_size, dtype=np.int64)
+            losses.append(trainer.train_batch(merge_store_batch(store, indices)))
+        result["train_s"] = time.perf_counter() - start
+        result["train_loss"] = losses[-1] if losses else None
+
+        start = time.perf_counter()
+        serve_count = min(args.serve_bags, len(store))
+        probabilities = service.predict_encoded(
+            store.select(np.arange(serve_count, dtype=np.int64))
+        )
+        result["serve_s"] = time.perf_counter() - start
+        result["prob_checksum"] = float(np.float64(probabilities.sum()))
+        result["ok"] = True
+    except MemoryError:
+        result["error"] = "MemoryError"
+        result["peak_rss_kb"] = _peak_rss_kb()
+        print(json.dumps(result))
+        return 3
+    result["peak_rss_kb"] = _peak_rss_kb()
+    print(json.dumps(result))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_probe())

@@ -137,7 +137,11 @@ class HeldOutEvaluator:
         from ..corpus.store import CorpusStore
 
         if isinstance(self.test_bags, CorpusStore):
-            return max(int((self.test_bags.relation_ids != 0).sum()), 1)
+            # Under mmap the ragged label flat may be a stitched ShardedColumn;
+            # count shard by shard so a huge test set never materialises whole.
+            relation_ids = self.test_bags.relation_ids
+            chunks = relation_ids.chunks() if hasattr(relation_ids, "chunks") else (relation_ids,)
+            return max(sum(int((chunk != 0).sum()) for chunk in chunks), 1)
         total = 0
         for bag in self.test_bags:
             total += sum(1 for relation_id in bag.relation_ids if relation_id != 0)

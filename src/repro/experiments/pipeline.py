@@ -27,7 +27,11 @@ per-bag loop.  Opt out per context via ``ScaleProfile.batched_training=False``
 
 from __future__ import annotations
 
+import atexit
+import shutil
+import tempfile
 from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -66,7 +70,10 @@ _default_cache: Optional[ArtifactCache] = None
 # Version 3: columnar corpus store — encoded corpora persist as one columnar
 # npz (CorpusStore format v2) instead of per-bag key sets; the legacy layout
 # stays readable through CorpusStore.load.
-PIPELINE_CACHE_VERSION = 3
+# Version 4: out-of-core corpus engine — new ScaleProfile knobs reshape the
+# profile dict inside every key, and mmap mode persists encoded corpora as
+# format-v3 shard directories under the 'encoded_store' kind.
+PIPELINE_CACHE_VERSION = 4
 
 
 def set_default_cache(cache: Optional[ArtifactCache]) -> Optional[ArtifactCache]:
@@ -171,6 +178,14 @@ def prepare_context(
     # graph / LINE / encoded-corpus artifacts.
     profile_key.pop("propagation_layers", None)
     profile_key.pop("propagation_alpha", None)
+    # The out-of-core knobs change how encoded corpora are produced and
+    # stored, never what they contain: parallel encode is bitwise equal to
+    # serial, and the npz-vs-shard-directory layouts live under different
+    # cache kinds.  Keep them out of every stage key so toggling them reuses
+    # artifacts.
+    profile_key.pop("encode_workers", None)
+    profile_key.pop("mmap", None)
+    profile_key.pop("stream_num_bags", None)
     stage_key = {
         "dataset": dataset,
         "profile": profile_key,
@@ -250,19 +265,21 @@ def prepare_context(
         "max_position_distance": config.model.max_position_distance,
         "max_sentences_per_bag": max_sentences_per_bag,
     }
-    train_encoded = cache.get_or_build(
-        "encoded_bags",
+    train_encoded = _encoded_split(
+        cache,
+        encoder,
+        bundle.train.bags,
         {**encoder_key, "split": "train"},
-        build=lambda: encoder.encode_store(bundle.train.bags),
-        save=lambda value, path: value.save(path),
-        load=CorpusStore.load,
+        mmap=profile.mmap,
+        workers=profile.encode_workers,
     )
-    test_encoded = cache.get_or_build(
-        "encoded_bags",
+    test_encoded = _encoded_split(
+        cache,
+        encoder,
+        bundle.test.bags,
         {**encoder_key, "split": "test"},
-        build=lambda: encoder.encode_store(bundle.test.bags),
-        save=lambda value, path: value.save(path),
-        load=CorpusStore.load,
+        mmap=profile.mmap,
+        workers=profile.encode_workers,
     )
     evaluator = HeldOutEvaluator(test_encoded, bundle.schema.num_relations)
 
@@ -280,6 +297,55 @@ def prepare_context(
         training_config=config.training,
         seed=seed,
     )
+
+
+def _encoded_split(
+    cache: ArtifactCache,
+    encoder: BagEncoder,
+    bags,
+    key: Dict,
+    mmap: bool = False,
+    workers: int = 0,
+) -> CorpusStore:
+    """Encode one train/test split through the cache, in-RAM or out-of-core.
+
+    The default path is unchanged from earlier versions: encode (optionally
+    in parallel — bitwise identical to serial), persist as a single columnar
+    npz under the ``encoded_bags`` kind, load fully into RAM.
+
+    With ``mmap=True`` the split persists as a format-v3 shard directory
+    under the separate ``encoded_store`` kind and is *memmapped* rather than
+    materialised, so downstream training/evaluation/serving touch only the
+    rows they index.  When caching is disabled there is no directory to keep
+    the shards in, so the split encodes into a process-lifetime temporary
+    directory instead.
+    """
+    if not mmap:
+        return cache.get_or_build(
+            "encoded_bags",
+            key,
+            build=lambda: encoder.encode_store(bags, workers=workers),
+            save=lambda value, path: value.save(path),
+            load=CorpusStore.load,
+        )
+    if not cache.enabled:
+        scratch = Path(tempfile.mkdtemp(prefix="repro-encoded-"))
+        atexit.register(shutil.rmtree, scratch, ignore_errors=True)
+        return encoder.encode_store(bags, workers=workers, out=scratch / "store", mmap=True)
+    store = cache.get_or_build(
+        "encoded_store",
+        key,
+        build=lambda: encoder.encode_store(bags, workers=workers),
+        save=lambda value, path: value.save_sharded(path),
+        load=lambda path: CorpusStore.load(path, mmap=True),
+        suffix="store",
+    )
+    # On a miss get_or_build returns the freshly built in-RAM store; reload
+    # the persisted shards memmapped so hits and misses behave identically.
+    path = cache.path_for("encoded_store", key, suffix="store")
+    if path.exists():
+        return CorpusStore.load(path, mmap=True)
+    return store
 
 
 def resolve_context_datasets(

@@ -265,6 +265,10 @@ class PredictionService:
         processed in chunks of at most ``batch_size``; each chunk is one
         vectorized forward pass.  This is the hot path the benchmark measures
         and the evaluator can call directly.
+
+        Memmapped stores serve out-of-core: the width sort reads only the
+        always-in-RAM ``bag_widths`` column, and each chunk's gather copies
+        just those rows from the mapped shards.
         """
         if len(bags) == 0:
             return np.zeros((0, self.model.num_relations))

@@ -141,6 +141,15 @@ class Vocabulary:
             )
         return self._sorted_lookup
 
+    def warm_lookup(self) -> None:
+        """Build the sorted bulk-encoding table eagerly.
+
+        The parallel corpus encoder calls this before forking its workers so
+        every child inherits the table through copy-on-write pages instead of
+        each rebuilding it from the Python token list.
+        """
+        self._lookup_table()
+
     def decode(self, ids: Sequence[int]) -> List[str]:
         """Map a list of ids back to tokens."""
         return [self.id_to_token(index) for index in ids]

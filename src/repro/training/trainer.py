@@ -154,7 +154,12 @@ class Trainer:
         ``train_bags`` may be a sequence of encoded bags or a columnar
         :class:`CorpusStore`; with a store and the batched path every
         mini-batch is assembled by slicing the store's offsets — no per-bag
-        objects are materialised anywhere in the epoch loop.
+        objects are materialised anywhere in the epoch loop.  A memmapped
+        store therefore trains out-of-core: each batch gather copies only
+        its own rows into RAM.  The per-bag fallback
+        (``batched_training=False``) is the exception — it materialises the
+        whole store as :class:`EncodedBag` objects up front, so keep the
+        batched path for corpora that do not fit in memory.
 
         ``checkpoint`` (a :class:`~repro.training.callbacks.CheckpointCallback`)
         saves the model after each epoch; diverged epochs are never

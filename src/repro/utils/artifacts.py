@@ -36,6 +36,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Mapping, Optional, TypeVar, Union
@@ -167,10 +168,7 @@ class ArtifactCache:
                 logger.warning(
                     "cache entry %s/%s is corrupt (%s); rebuilding", kind, path.name, error
                 )
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+                _remove_entry(path)
 
         self.stats.misses += 1
         logger.info("cache miss: %s; building", kind)
@@ -179,7 +177,13 @@ class ArtifactCache:
         return value
 
     def _atomic_save(self, value: T, path: Path, save: Callable[[T, Path], None]) -> None:
-        """Write through a temporary file so readers never see partial data."""
+        """Write through a temporary path so readers never see partial data.
+
+        The saver may produce a single file *or a directory* at the
+        temporary path (directory-shaped artifacts, e.g. the format-v3
+        corpus-store shard layout); either is renamed into place with one
+        ``os.replace``.
+        """
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
         try:
@@ -195,21 +199,41 @@ class ArtifactCache:
             os.replace(written, path)
         except Exception:
             for candidate in [tmp, *tmp.parent.glob(tmp.name + ".*")]:
-                if candidate.exists():
-                    candidate.unlink()
+                _remove_entry(candidate)
             raise
 
     # ------------------------------------------------------------------ #
     # Maintenance
     # ------------------------------------------------------------------ #
     def clear(self, kind: Optional[str] = None) -> int:
-        """Delete cached artifacts (all of them, or one ``kind``); returns count."""
+        """Delete cached artifacts (all of them, or one ``kind``); returns count.
+
+        Counts artifacts, not files: a directory-shaped artifact (e.g. a
+        corpus-store shard directory) is one entry however many shards it
+        holds.
+        """
         base = self.root if kind is None else self.root / kind
         if not base.exists():
             return 0
         removed = 0
-        for file in sorted(base.rglob("*")):
-            if file.is_file():
-                file.unlink()
+        for entry in sorted(base.rglob("*")):
+            if not entry.exists():
+                continue  # removed with a parent directory already
+            if entry.is_file():
+                entry.unlink()
+                removed += 1
+            elif entry.is_dir() and (entry / "manifest.json").exists():
+                shutil.rmtree(entry, ignore_errors=True)
                 removed += 1
         return removed
+
+
+def _remove_entry(path: Path) -> None:
+    """Best-effort removal of a cache entry, file- or directory-shaped."""
+    try:
+        if path.is_dir():
+            shutil.rmtree(path, ignore_errors=True)
+        elif path.exists():
+            path.unlink()
+    except OSError:
+        pass

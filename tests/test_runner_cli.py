@@ -111,7 +111,7 @@ class TestSubcommandRun:
 
     def test_unknown_profile_exits_2(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
-            cli.main(["run", "table3", "--profile", "huge"])
+            cli.main(["run", "table3", "--profile", "galactic"])
         assert excinfo.value.code == 2
 
     def test_text_output_dir_writes_reports(self, fake_registry, tmp_path, capsys):
