@@ -14,6 +14,7 @@ occupancy distribution and the end-to-end latency quantiles under load.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 
@@ -109,6 +110,28 @@ def test_daemon_closed_loop_throughput(nyt_ctx):
     occupancy = stats["batch_occupancy"]
     latency = stats["latency_seconds"]
 
+    # Same closed-loop load against a daemon pinned to the fast backend
+    # (float32 weights + per-worker workspace reuse): answers must agree
+    # with the float64 daemon to 1e-5 / identical top-1, and the recorded
+    # rate shows what the dtype policy buys under concurrency.
+    fast_service = PredictionService.from_context(
+        nyt_ctx, method.model, backend="fast"
+    )
+    fast_seconds = float("inf")
+    with ServingDaemon(fast_service, config=config) as fast_daemon:
+        fast_result = fast_daemon.predict(requests[0], timeout=60.0)
+        reference_result = service.predict(requests[0])
+        np.testing.assert_allclose(
+            fast_result.probabilities, reference_result.probabilities, atol=1e-5
+        )
+        assert (
+            fast_result.top.relation_id == reference_result.top.relation_id
+        )
+        assert fast_daemon.stats()["backend"]["serve_dtype"] == "float32"
+        for _ in range(TIMING_REPEATS):
+            fast_seconds = min(fast_seconds, closed_loop(fast_daemon))
+    fast_rate = total_requests / fast_seconds
+
     report = format_table(
         ["path", "requests/sec", "seconds/pass", "speedup"],
         [
@@ -119,10 +142,17 @@ def test_daemon_closed_loop_throughput(nyt_ctx):
                 daemon_seconds,
                 speedup,
             ],
+            [
+                f"daemon, fast f32 backend ({NUM_CLIENTS} clients)",
+                fast_rate,
+                fast_seconds,
+                sequential_seconds / fast_seconds,
+            ],
         ],
         title=f"Online daemon throughput, {total_requests} requests of "
         f"{nyt_ctx.dataset_name} (max_batch_size={config.max_batch_size}, "
-        f"max_wait_ms={config.max_wait_ms:g}, workers={config.num_workers})",
+        f"max_wait_ms={config.max_wait_ms:g}, workers={config.num_workers}, "
+        f"cpus={os.cpu_count()})",
     ) + "\n" + format_table(
         ["metric", "value"],
         [

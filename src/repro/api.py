@@ -152,17 +152,27 @@ class Session:
         method_or_model,
         dataset: str = "nyt",
         batch_size: int = 32,
+        backend: Optional[str] = None,
     ) -> PredictionService:
         """An in-process :class:`PredictionService` over a trained method/model.
 
         Also accepts a method *name* (``session.service("pa_tmr")``): the
         method is trained through :meth:`train` first, reusing the context's
         per-method cache, so repeated calls do not retrain.
+
+        ``backend`` picks the compute backend (``"reference"``, ``"fast"``,
+        ...); it defaults to the profile's ``serve_backend``, and ``None``
+        keeps the ambient backend with unchanged float64 numerics.
         """
         if isinstance(method_or_model, str):
             method_or_model = self.train(method_or_model, dataset=dataset)[0]
         model = checkpointable_model(method_or_model)
-        return PredictionService.from_context(self.context(dataset), model, batch_size=batch_size)
+        return PredictionService.from_context(
+            self.context(dataset),
+            model,
+            batch_size=batch_size,
+            backend=backend if backend is not None else self.profile.serve_backend,
+        )
 
     def daemon(
         self,
@@ -170,6 +180,7 @@ class Session:
         dataset: str = "nyt",
         batch_size: int = 32,
         config: Optional[DaemonConfig] = None,
+        backend: Optional[str] = None,
     ) -> ServingDaemon:
         """A :class:`ServingDaemon` over a trained method/model (not started).
 
@@ -184,5 +195,11 @@ class Session:
         :meth:`~repro.serve.ServingDaemon.close` explicitly.  See
         ``docs/daemon.md``.
         """
-        service = self.service(method_or_model, dataset=dataset, batch_size=batch_size)
-        return ServingDaemon(service, config=config or self.profile.daemon_config())
+        config = config or self.profile.daemon_config()
+        service = self.service(
+            method_or_model,
+            dataset=dataset,
+            batch_size=batch_size,
+            backend=backend if backend is not None else config.backend,
+        )
+        return ServingDaemon(service, config=config)

@@ -1,20 +1,30 @@
 """Vectorized inference over many bags at once.
 
 For serving we only need forward values, so this module runs the expensive
-sentence encoding once over a merged batch (reusing the exact autograd ops
-for parity) and then evaluates the cheap bag-level stages — selective
-attention, entity-type head, mutual-relation head, confidence combination —
-with plain numpy on the model's parameters.  The autograd-capable sibling
-used by training lives in :mod:`repro.batch.training`.
+sentence encoding once over a merged batch and then evaluates the cheap
+bag-level stages — selective attention, entity-type head, mutual-relation
+head, confidence combination — with plain numpy on the model's parameters.
+The autograd-capable sibling used by training lives in
+:mod:`repro.batch.training`.
+
+All array work dispatches through a pluggable :class:`repro.nn.backend
+.ArrayBackend`: the ``reference`` backend reproduces the historical float64
+behaviour bit-for-bit (same ops, same order, fresh allocations), while the
+``fast`` backend runs the same kernels at the model's (float32-cast) dtype
+with scratch buffers pooled in a :class:`~repro.nn.backend.Workspace`.
+Whatever the compute dtype, the *final* reduction — the softmax over the
+combined logits — always runs in float64 and the returned probabilities are
+float64, which keeps the float32 path within ``1e-5`` of the reference with
+identical argmax labels (proven per variant by ``tests/test_backend.py``).
 
 Numerical parity with ``model.predict_probabilities`` per bag is guaranteed
-by construction (same ops, same float64 dtype) and enforced by
-``tests/test_serve.py``.
+by construction (same ops, same dtype as the model's parameters) and
+enforced by ``tests/test_serve.py``.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -23,6 +33,8 @@ from ..encoders.attention import AverageBagAggregator, SelectiveAttentionAggrega
 from ..encoders.cnn import CNNEncoder
 from ..encoders.pcnn import NUM_SEGMENTS, PCNNEncoder, _align_segments
 from ..exceptions import ModelError
+from ..nn.backend import ArrayBackend, Workspace, resolve_backend
+from ..nn.tensor import Tensor
 from .merging import (
     BagBatchLike,
     MergedBagBatch,
@@ -33,26 +45,43 @@ from .merging import (
 )
 
 
-def batched_predict_probabilities(model: NeuralREModel, bags: BagBatchLike) -> np.ndarray:
+def batched_predict_probabilities(
+    model: NeuralREModel,
+    bags: BagBatchLike,
+    backend: Union[None, str, ArrayBackend] = None,
+    workspace: Optional[Workspace] = None,
+) -> np.ndarray:
     """Relation probability distributions for many bags in one pass.
 
     ``bags`` may be a sequence of :class:`EncodedBag` objects, a columnar
     :class:`~repro.corpus.store.CorpusStore` (or sub-store), or an already
-    assembled :class:`MergedBagBatch`.  Returns an array of shape
+    assembled :class:`MergedBagBatch`.  Returns a float64 array of shape
     ``(num_bags, num_relations)`` equal (up to floating-point round-off) to
     stacking ``model.predict_probabilities(bag)`` over ``bags``.
+
+    ``backend`` selects the kernel implementation (``None`` resolves the
+    ambient backend — see :func:`repro.nn.backend.get_backend`); the compute
+    dtype always follows the model's parameters.  ``workspace`` supplies
+    reusable scratch buffers and is honoured only by backends with
+    ``reuse_workspace`` (the returned probabilities are never
+    workspace-backed).
     """
+    backend = resolve_backend(backend)
+    if not backend.reuse_workspace:
+        workspace = None
     if len(bags) == 0:
         return np.zeros((0, model.num_relations))
     was_training = model.training
     if was_training:
         model.eval()
     try:
-        batch = as_merged_batch(bags)
-        reprs = _merged_sentence_representations(model, batch)
-        re_logits = _batched_aggregator_logits(model.base_model.aggregator, reprs, batch)
+        batch = as_merged_batch(bags, workspace=workspace)
+        reprs = _merged_sentence_representations(model, batch, backend, workspace)
+        re_logits = _batched_aggregator_logits(
+            model.base_model.aggregator, reprs, batch, backend, workspace
+        )
         type_logits = (
-            _batched_type_logits(model.type_head, batch)
+            _batched_type_logits(model.type_head, batch, backend)
             if model.type_head is not None
             else None
         )
@@ -62,61 +91,182 @@ def batched_predict_probabilities(model: NeuralREModel, bags: BagBatchLike) -> n
             else None
         )
         combined = _batched_combined_logits(model, re_logits, type_logits, mr_logits)
-        return _row_softmax(combined)
+        return _final_probabilities(combined)
     finally:
         if was_training:
             model.train(True)
 
 
+def _final_probabilities(combined: np.ndarray) -> np.ndarray:
+    """Float64 final reduction: softmax the combined logits at full precision.
+
+    A no-op cast on the reference path (logits are already float64, so the
+    result is bit-identical to the historical behaviour); on the float32 path
+    this is where precision is restored before the one reduction that
+    decides the returned probabilities.  Always returns a fresh float64
+    array — never a view into a workspace buffer.
+    """
+    combined = np.asarray(combined, dtype=np.float64)
+    return _row_softmax(combined)
+
+
 def _merged_sentence_representations(
-    model: NeuralREModel, batch: MergedBagBatch
+    model: NeuralREModel,
+    batch: MergedBagBatch,
+    backend: ArrayBackend,
+    workspace: Optional[Workspace],
 ) -> np.ndarray:
     """Encode every sentence of the merged batch: ``(total_sentences, dim)``.
 
-    Runs the same embedder/encoder modules as the per-bag path (dropout is an
-    identity in eval mode).  One correction keeps the outputs bitwise-faithful
-    to per-bag encoding: a bag's arrays are only as wide as its own longest
-    sentence, so positions beyond that width are *true zeros* there (the
-    convolution's zero padding), while the merged batch fills them with
-    embedded pad tokens whose position embeddings are non-zero.  Zeroing the
-    embedded columns beyond each bag's own width restores per-bag semantics.
+    The embedding gather and the CNN/PCNN convolutions run through the
+    backend's kernels; recurrent encoders fall back to the autograd modules
+    (their step loop is not a batched kernel), which preserve the compute
+    dtype.  One correction keeps the outputs bitwise-faithful to per-bag
+    encoding: a bag's arrays are only as wide as its own longest sentence,
+    so positions beyond that width are *true zeros* there (the convolution's
+    zero padding), while the merged batch fills them with embedded pad
+    tokens whose position embeddings are non-zero.  Zeroing the embedded
+    columns beyond each bag's own width restores per-bag semantics.
     """
     base = model.base_model
-    embedded = base.embedder(batch.merged)
+    embedded = _embed_merged(base.embedder, batch, backend, workspace)
     widths = batch.bag_widths
     beyond_bag_width = np.arange(embedded.shape[1])[None, :] >= widths[:, None]
-    embedded.data[beyond_bag_width] = 0.0
+    embedded[beyond_bag_width] = 0.0
     if isinstance(base.encoder, PCNNEncoder):
-        return _pcnn_representations(base.encoder, embedded, batch)
+        return _pcnn_representations(base.encoder, embedded, batch, backend, workspace)
     if isinstance(base.encoder, CNNEncoder):
-        return _cnn_representations(base.encoder, embedded, batch, widths)
-    return base.encoder(embedded, batch.merged).data
+        return _cnn_representations(
+            base.encoder, embedded, batch, widths, backend, workspace
+        )
+    return base.encoder(Tensor(embedded), batch.merged).data
+
+
+def _embed_merged(
+    embedder,
+    batch: MergedBagBatch,
+    backend: ArrayBackend,
+    workspace: Optional[Workspace],
+) -> np.ndarray:
+    """Word + head/tail position embeddings of every merged sentence row.
+
+    Writes the three gathers directly into the slices of one output buffer —
+    the same values :class:`WordPositionEmbedder`'s concatenate produces,
+    without the intermediate per-table arrays surviving the call.
+    """
+    merged = batch.merged
+    word_table = embedder.word_embedding.weight.data
+    head_table = embedder.head_position_embedding.weight.data
+    tail_table = embedder.tail_position_embedding.weight.data
+    rows, length = merged.token_ids.shape
+    word_dim = embedder.word_dim
+    position_dim = embedder.position_dim
+    out = backend.scratch(
+        workspace,
+        "embed.out",
+        (rows, length, word_dim + 2 * position_dim),
+        word_table.dtype,
+    )
+    backend.gather_rows(word_table, merged.token_ids, out=out[:, :, :word_dim])
+    backend.gather_rows(
+        head_table,
+        merged.head_position_ids,
+        out=out[:, :, word_dim:word_dim + position_dim],
+    )
+    backend.gather_rows(
+        tail_table,
+        merged.tail_position_ids,
+        out=out[:, :, word_dim + position_dim:],
+    )
+    return out
+
+
+def _conv_forward(
+    conv,
+    x: np.ndarray,
+    backend: ArrayBackend,
+    workspace: Optional[Workspace],
+    key: str,
+) -> np.ndarray:
+    """Gradient-free :class:`~repro.nn.layers.Conv1d` forward.
+
+    Replicates :func:`repro.nn.functional.conv1d` op for op (zero-padded
+    buffer, im2col gather, one matmul against the flattened filters, bias
+    add) so the values are bit-identical; the buffers route through the
+    backend so the fast path reuses them across batches.
+    """
+    weight = conv.weight.data
+    out_channels, window, in_channels = weight.shape
+    rows, length, _ = x.shape
+    padding = conv.padding
+    if padding > 0:
+        padded = backend.scratch(
+            workspace, key + ".pad", (rows, length + 2 * padding, in_channels),
+            x.dtype,
+        )
+        # Only the border columns need zeroing; the interior is overwritten
+        # by the copy, so skip the full-buffer fill.
+        padded[:, :padding, :] = 0.0
+        padded[:, padding + length:, :] = 0.0
+        padded[:, padding:padding + length, :] = x
+    else:
+        padded = x
+    out_length = padded.shape[1] - window + 1
+    col = backend.conv_window_gather(
+        padded,
+        window,
+        out=backend.scratch(
+            workspace, key + ".col", (rows, out_length, window * in_channels), x.dtype
+        ),
+    )
+    w_mat = weight.reshape(out_channels, window * in_channels)
+    out = backend.scratch(
+        workspace, key + ".out", (rows, out_length, out_channels), x.dtype
+    )
+    backend.matmul(col, w_mat.T, out=out)
+    if conv.bias is not None:
+        out += conv.bias.data
+    return out
 
 
 def _pcnn_representations(
-    encoder: PCNNEncoder, embedded, batch: MergedBagBatch
+    encoder: PCNNEncoder,
+    embedded: np.ndarray,
+    batch: MergedBagBatch,
+    backend: ArrayBackend,
+    workspace: Optional[Workspace],
 ) -> np.ndarray:
     """PCNN forward with gradient-free piecewise pooling.
 
     The segment masks already exclude everything beyond each bag's own width
-    (padding segments are -1), so only the pooling is reimplemented — as a
-    plain masked max, which equals the autograd op's argmax/gather for any
-    segment with at least one valid position and 0 otherwise.
+    (padding segments are -1), so only the pooling is reimplemented — as the
+    backend's ``segment_max``, which equals the autograd op's argmax/gather
+    for any segment with at least one valid position and 0 otherwise.
     """
-    convolved = encoder.conv(embedded).data
+    convolved = _conv_forward(encoder.conv, embedded, backend, workspace, "pcnn")
     out_length = convolved.shape[1]
     segments = _align_segments(batch.merged.segment_ids, out_length, encoder.conv.padding)
-    parts = []
-    for seg in range(NUM_SEGMENTS):
-        seg_mask = segments == seg
-        masked = np.where(seg_mask[:, :, None], convolved, -np.inf)
-        pooled = masked.max(axis=1)
-        parts.append(np.where(seg_mask.any(axis=1)[:, None], pooled, 0.0))
-    return np.tanh(np.concatenate(parts, axis=1))
+    pooled = backend.segment_max(
+        convolved,
+        segments,
+        NUM_SEGMENTS,
+        out=backend.scratch(
+            workspace,
+            "pcnn.pooled",
+            (convolved.shape[0], NUM_SEGMENTS * convolved.shape[2]),
+            convolved.dtype,
+        ),
+    )
+    return np.tanh(pooled, out=pooled)
 
 
 def _cnn_representations(
-    encoder: CNNEncoder, embedded, batch: MergedBagBatch, widths: np.ndarray
+    encoder: CNNEncoder,
+    embedded: np.ndarray,
+    batch: MergedBagBatch,
+    widths: np.ndarray,
+    backend: ArrayBackend,
+    workspace: Optional[Workspace],
 ) -> np.ndarray:
     """CNN encoder forward restricted to each bag's own output length.
 
@@ -125,20 +275,27 @@ def _cnn_representations(
     so the merged pass must exclude the extra positions the wider batch
     introduces (they do not exist in the per-bag path).
     """
-    convolved = encoder.conv(embedded).data
+    convolved = _conv_forward(encoder.conv, embedded, backend, workspace, "cnn")
     mask = cnn_pooling_mask(
         batch, widths, convolved.shape[1], encoder.window_size, encoder.conv.padding
     )
-    pooled = np.where(mask[:, :, None], convolved, -np.inf).max(axis=1)
+    # The convolution output is scratch, so mask it in place: invalid
+    # positions become -inf and can never win the max.
+    convolved[~mask] = -np.inf
+    pooled = convolved.max(axis=1)
     pooled = np.where(mask.any(axis=1)[:, None], pooled, 0.0)
-    return np.tanh(pooled)
+    return np.tanh(pooled, out=pooled)
 
 
 def _batched_aggregator_logits(
-    aggregator, reprs: np.ndarray, batch: MergedBagBatch
+    aggregator,
+    reprs: np.ndarray,
+    batch: MergedBagBatch,
+    backend: ArrayBackend,
+    workspace: Optional[Workspace],
 ) -> np.ndarray:
     if isinstance(aggregator, SelectiveAttentionAggregator):
-        return _selective_attention_logits(aggregator, reprs, batch)
+        return _selective_attention_logits(aggregator, reprs, batch, backend, workspace)
     if isinstance(aggregator, AverageBagAggregator):
         return _average_pool_logits(aggregator, reprs, batch)
     raise ModelError(
@@ -147,7 +304,11 @@ def _batched_aggregator_logits(
 
 
 def _selective_attention_logits(
-    aggregator: SelectiveAttentionAggregator, reprs: np.ndarray, batch: MergedBagBatch
+    aggregator: SelectiveAttentionAggregator,
+    reprs: np.ndarray,
+    batch: MergedBagBatch,
+    backend: ArrayBackend,
+    workspace: Optional[Workspace],
 ) -> np.ndarray:
     """Vectorized form of ``SelectiveAttentionAggregator.predict_logits``.
 
@@ -160,24 +321,37 @@ def _selective_attention_logits(
     weight = aggregator.classifier.weight.data          # (R, d)
     bias = aggregator.classifier.bias.data if aggregator.classifier.bias is not None else 0.0
 
-    scores = (reprs * diag) @ queries.T                 # (N, R)
     num_relations = queries.shape[0]
     dim = reprs.shape[1]
+    weighted = backend.scratch(workspace, "att.weighted", reprs.shape, reprs.dtype)
+    np.multiply(reprs, diag, out=weighted)
+    scores = backend.matmul(
+        weighted,
+        queries.T,
+        out=backend.scratch(
+            workspace, "att.logits", (reprs.shape[0], num_relations), reprs.dtype
+        ),
+    )                                                   # (N, R)
 
     # Scatter the flat sentence axis into (bag, slot) padded arrays.
     bag_of_row, slot_of_row, slot_mask = padded_slot_plan(batch)
     num_bags, max_sentences = slot_mask.shape
-    padded_scores = np.full((num_bags, max_sentences, num_relations), -np.inf)
-    padded_reprs = np.zeros((num_bags, max_sentences, dim))
+    padded_scores = backend.scratch_filled(
+        workspace, "att.scores", (num_bags, max_sentences, num_relations),
+        reprs.dtype, -np.inf,
+    )
+    padded_reprs = backend.scratch_filled(
+        workspace, "att.reprs", (num_bags, max_sentences, dim), reprs.dtype, 0.0
+    )
     padded_scores[bag_of_row, slot_of_row] = scores
     padded_reprs[bag_of_row, slot_of_row] = reprs
 
-    # Per-bag softmax over the sentence axis (empty slots contribute exp(-inf)=0).
-    shifted = padded_scores - padded_scores.max(axis=1, keepdims=True)
-    exp = np.exp(shifted)
-    alphas = exp / exp.sum(axis=1, keepdims=True)       # (B, S, R)
+    # Per-bag softmax over the sentence axis (empty slots contribute
+    # exp(-inf)=0).  The padded scores are scratch, so the softmax may run
+    # in place (the fast backend does; values are bit-identical).
+    alphas = backend.softmax(padded_scores, axis=1, out=padded_scores)  # (B, S, R)
 
-    bag_per_relation = np.matmul(alphas.transpose(0, 2, 1), padded_reprs)  # (B, R, d)
+    bag_per_relation = backend.matmul(alphas.transpose(0, 2, 1), padded_reprs)  # (B, R, d)
     # Relation r is scored against its own attended representation, so only
     # the diagonal of the full (R, R) classifier product is needed.
     logits = np.einsum("brd,rd->br", bag_per_relation, weight)
@@ -189,18 +363,24 @@ def _average_pool_logits(
 ) -> np.ndarray:
     """Vectorized average pooling + classification."""
     sums = np.add.reduceat(reprs, batch.offsets[:-1], axis=0)
-    means = sums / batch.sentence_counts[:, None]
+    # Counts cast to the compute dtype: identical values in float64, and the
+    # float32 path must not be promoted back to float64 by an int divisor.
+    means = sums / batch.sentence_counts.astype(reprs.dtype)[:, None]
     weight = aggregator.classifier.weight.data
     bias = aggregator.classifier.bias.data if aggregator.classifier.bias is not None else 0.0
     return means @ weight.T + bias
 
 
-def _batched_type_logits(type_head, batch: MergedBagBatch) -> np.ndarray:
+def _batched_type_logits(
+    type_head, batch: MergedBagBatch, backend: ArrayBackend
+) -> np.ndarray:
     """Vectorized :class:`EntityTypeHead` forward over a batch of bags."""
     table = type_head.type_embedding.weight.data
     pair = np.concatenate(
-        [_mean_type_vectors(table, batch.head_type_ids, batch.head_type_offsets),
-         _mean_type_vectors(table, batch.tail_type_ids, batch.tail_type_offsets)],
+        [
+            _mean_type_vectors(table, batch.head_type_ids, batch.head_type_offsets, backend),
+            _mean_type_vectors(table, batch.tail_type_ids, batch.tail_type_offsets, backend),
+        ],
         axis=1,
     )
     weight = type_head.classifier.weight.data
@@ -209,12 +389,15 @@ def _batched_type_logits(type_head, batch: MergedBagBatch) -> np.ndarray:
 
 
 def _mean_type_vectors(
-    table: np.ndarray, flat_ids: np.ndarray, offsets: np.ndarray
+    table: np.ndarray,
+    flat_ids: np.ndarray,
+    offsets: np.ndarray,
+    backend: ArrayBackend,
 ) -> np.ndarray:
     """Per-bag mean of type-embedding rows over a ragged flat id column."""
     counts = np.diff(offsets)
-    sums = np.add.reduceat(table[flat_ids], offsets[:-1], axis=0)
-    return sums / counts[:, None]
+    sums = np.add.reduceat(backend.gather_rows(table, flat_ids), offsets[:-1], axis=0)
+    return sums / counts.astype(table.dtype)[:, None]
 
 
 def _batched_mutual_relation_logits(mr_head, batch: MergedBagBatch) -> np.ndarray:

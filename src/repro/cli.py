@@ -294,7 +294,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # Parse the requests first: a malformed file should fail fast, before
     # paying the checkpoint hash-verify/rebuild cold start.
     requests = _load_requests(args.requests)
-    service = PredictionService.from_checkpoint(args.checkpoint, batch_size=args.batch_size)
+    service = PredictionService.from_checkpoint(
+        args.checkpoint, batch_size=args.batch_size, backend=args.backend
+    )
     if args.daemon:
         results, stats = _serve_via_daemon(service, requests, args)
     else:
@@ -344,6 +346,7 @@ def _serve_via_daemon(service, requests, args: argparse.Namespace):
         max_wait_ms=args.max_wait_ms,
         queue_limit=max(args.queue_limit, len(requests)),
         num_workers=args.workers,
+        backend=args.backend,
     )
     config.validate()
     with ServingDaemon(service, config=config) as daemon:
@@ -439,6 +442,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument("--top-k", type=int, default=3)
     serve_parser.add_argument("--batch-size", type=int, default=32)
+    serve_parser.add_argument(
+        "--backend",
+        default=None,
+        help="compute backend: 'reference' (float64, the default numerics) or "
+        "'fast' (float32 weights + workspace reuse; ~same answers, lower "
+        "latency); omit to keep the ambient backend",
+    )
     serve_parser.add_argument("--output", default="-", help="output file ('-' for stdout)")
     serve_parser.add_argument(
         "--daemon",

@@ -200,6 +200,11 @@ class DaemonConfig:
     queue_limit: int = 256         # queued + in-flight requests before backpressure
     num_workers: int = 1           # executor threads running the vectorized forward
     latency_window: int = 4096     # latency samples kept for quantile estimates
+    # Compute backend for the daemon's PredictionService ("reference",
+    # "fast", ...; see repro.nn.backend).  None keeps the ambient backend
+    # and today's float64 numerics; "fast" opts into the float32
+    # workspace-reuse serve path.
+    backend: Optional[str] = None
 
     def validate(self) -> None:
         if self.max_batch_size <= 0:
@@ -212,6 +217,12 @@ class DaemonConfig:
             raise ConfigurationError("num_workers must be positive")
         if self.latency_window <= 0:
             raise ConfigurationError("latency_window must be positive")
+        if self.backend is not None:
+            # Delayed import: repro.nn.backend imports repro.exceptions, which
+            # must not pull config back in at module-import time.
+            from .nn.backend import get_backend
+
+            get_backend(self.backend)  # raises ConfigurationError if unknown
 
     @property
     def max_wait_seconds(self) -> float:
@@ -257,6 +268,10 @@ class ScaleProfile:
     daemon_max_wait_ms: float = 2.0
     daemon_queue_limit: int = 256
     daemon_workers: int = 1
+    # Compute backend for serving built off this profile (Session.service /
+    # Session.daemon / daemon_config).  None = ambient backend with today's
+    # float64 numerics; "fast" = float32 weights + workspace reuse.
+    serve_backend: Optional[str] = None
     # Out-of-core corpus engine knobs (PR 7).  `encode_workers` > 1 fans
     # BagEncoder.encode_store out over forked workers (0/1 = serial, the
     # deterministic tier-1 default — parallel results are bitwise identical,
@@ -353,6 +368,7 @@ class ScaleProfile:
             max_wait_ms=self.daemon_max_wait_ms,
             queue_limit=self.daemon_queue_limit,
             num_workers=self.daemon_workers,
+            backend=self.serve_backend,
         )
         config.validate()
         return config

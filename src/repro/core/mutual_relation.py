@@ -69,6 +69,14 @@ class MutualRelationHead(nn.Module):
     def num_entities(self) -> int:
         return int(self._entity_vectors.shape[0])
 
+    def _cast_buffers(self, dtype: np.dtype) -> None:
+        """Keep the frozen entity table at the module's compute dtype.
+
+        Without this, a float32-cast model would promote every
+        mutual-relation matmul back to float64 through the table.
+        """
+        self._entity_vectors = self._entity_vectors.astype(dtype, copy=False)
+
     def mutual_relation_vector(self, head_entity_id: int, tail_entity_id: int) -> np.ndarray:
         """``MR = U_tail - U_head`` as a plain numpy vector.
 

@@ -5,7 +5,18 @@ in :mod:`repro.encoders`, :mod:`repro.core` and :mod:`repro.baselines` reads
 like the original implementations.
 """
 
-from . import functional, init
+from . import backend, functional, init
+from .backend import (
+    ArrayBackend,
+    FastBackend,
+    ReferenceBackend,
+    Workspace,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
 from .layers import (
     Conv1d,
     Dropout,
@@ -22,6 +33,7 @@ from .recurrent import BiGRU, GRU, GRUCell
 from .tensor import (
     Tensor,
     concatenate,
+    default_dtype,
     get_default_dtype,
     ones,
     set_default_dtype,
@@ -34,6 +46,17 @@ from .tensor import (
 __all__ = [
     "functional",
     "init",
+    "backend",
+    "ArrayBackend",
+    "ReferenceBackend",
+    "FastBackend",
+    "Workspace",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "register_backend",
+    "default_dtype",
     "Tensor",
     "tensor",
     "zeros",

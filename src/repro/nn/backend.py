@@ -1,0 +1,463 @@
+"""Pluggable array-compute backends for the gradient-free hot paths.
+
+The autograd substrate (:mod:`repro.nn.tensor`) stays hard-wired to numpy —
+training needs its recorded graphs.  Serving does not: the batched forward
+(:mod:`repro.batch.inference`) is gradient-free, so its kernels can be
+dispatched through the small protocol defined here and swapped without
+touching the model code.  Three backends register today:
+
+``reference``
+    Plain numpy at the model's own dtype (float64 by default).  Byte-preserves
+    the behaviour the parity suite pins down; this is the default.
+``fast``
+    The same numpy kernels plus a serving dtype policy (float32 weights and
+    activations, float64 final reduction) and scratch-buffer reuse through a
+    :class:`Workspace`.  Roughly halves the memory bandwidth and swaps dgemm
+    for sgemm on the serve path; ``tests/test_backend.py`` proves
+    probabilities stay within ``1e-5`` of the reference with identical
+    predicted labels for every model variant.
+``torch``
+    Registered only when ``import torch`` succeeds (it is absent from the CI
+    image); same call surface, kernels executed by torch on CPU.
+
+Selection is layered: an explicit ``backend=`` argument beats the process
+override installed with :func:`set_backend`, which beats the
+``REPRO_BACKEND`` environment variable, which falls back to ``reference``.
+Ambient selection (env var / :func:`set_backend`) swaps *kernels only*; a
+backend's dtype policy applies when a caller pins it explicitly (for
+example ``PredictionService(..., backend="fast")``), so exporting
+``REPRO_BACKEND=fast`` never silently changes the numbers an existing
+float64 service produces.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "ArrayBackend",
+    "ReferenceBackend",
+    "FastBackend",
+    "Workspace",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "set_backend",
+    "use_backend",
+]
+
+#: Environment variable naming the ambient backend for the process.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+class Workspace:
+    """A named pool of reusable scratch buffers.
+
+    Serving allocates the same padded token matrices, im2col buffers and
+    activation arrays for every batch; a workspace hands out views over
+    buffers that persist across batches instead.  Buffers are keyed by
+    ``(name, dtype)`` and grow geometrically, so a steady-state serving
+    loop stops allocating entirely once it has seen its widest batch.
+
+    Views handed out for the *same key* alias the same memory — callers must
+    use one key per concurrently-live array (the batched forward does).  A
+    workspace is not thread-safe; use one per worker thread
+    (:class:`~repro.serve.PredictionService` keeps them thread-local).
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[str, np.dtype], np.ndarray] = {}
+
+    def request(
+        self,
+        key: str,
+        shape: Tuple[int, ...],
+        dtype: Union[np.dtype, type] = np.float64,
+    ) -> np.ndarray:
+        """A contiguous array of exactly ``shape``/``dtype``, reused across calls.
+
+        Contents are uninitialised (like :func:`numpy.empty`); callers that
+        need a fill value must write one.
+        """
+        dtype = np.dtype(dtype)
+        needed = int(math.prod(shape))
+        buffer = self._buffers.get((key, dtype))
+        if buffer is None or buffer.size < needed:
+            capacity = needed if buffer is None else max(needed, 2 * buffer.size)
+            buffer = np.empty(capacity, dtype=dtype)
+            self._buffers[(key, dtype)] = buffer
+        return buffer[:needed].reshape(shape)
+
+    def request_filled(
+        self,
+        key: str,
+        shape: Tuple[int, ...],
+        dtype: Union[np.dtype, type],
+        fill_value,
+    ) -> np.ndarray:
+        """Like :meth:`request` but with every element set to ``fill_value``."""
+        out = self.request(key, shape, dtype)
+        out[...] = fill_value
+        return out
+
+    @property
+    def num_buffers(self) -> int:
+        return len(self._buffers)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the pool."""
+        return sum(buffer.nbytes for buffer in self._buffers.values())
+
+    def clear(self) -> None:
+        """Release every pooled buffer."""
+        self._buffers.clear()
+
+
+class ArrayBackend:
+    """Protocol + numpy reference implementation of the serve-path kernels.
+
+    Sub-classes override ``name`` and, optionally, individual kernels and the
+    two policy attributes:
+
+    ``serve_dtype``
+        Float dtype a :class:`~repro.serve.PredictionService` casts model
+        weights to when this backend is pinned explicitly (``None`` keeps the
+        model's own dtype).
+    ``reuse_workspace``
+        Whether the batched forward should route scratch allocations through
+        a :class:`Workspace`.
+
+    Every kernel accepts an optional ``out=`` so callers can land results in
+    workspace-backed buffers; when ``out`` is ``None`` a fresh array is
+    allocated, which is how the reference backend byte-preserves the
+    historical allocation-per-batch behaviour.
+    """
+
+    name: str = "abstract"
+    serve_dtype: Optional[np.dtype] = None
+    reuse_workspace: bool = False
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+    def scratch(
+        self,
+        workspace: Optional[Workspace],
+        key: str,
+        shape: Tuple[int, ...],
+        dtype: Union[np.dtype, type],
+    ) -> np.ndarray:
+        """An uninitialised array, pooled when this backend reuses workspaces."""
+        if workspace is not None and self.reuse_workspace:
+            return workspace.request(key, shape, dtype)
+        return np.empty(shape, dtype=dtype)
+
+    def scratch_filled(
+        self,
+        workspace: Optional[Workspace],
+        key: str,
+        shape: Tuple[int, ...],
+        dtype: Union[np.dtype, type],
+        fill_value,
+    ) -> np.ndarray:
+        out = self.scratch(workspace, key, shape, dtype)
+        out[...] = fill_value
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Kernels
+    # ------------------------------------------------------------------ #
+    def matmul(
+        self, a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        return np.matmul(a, b, out=out)
+
+    def gather_rows(
+        self,
+        table: np.ndarray,
+        indices: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``table[indices]`` along axis 0, optionally into ``out``."""
+        if out is None:
+            return table[indices]
+        out[...] = table[indices]
+        return out
+
+    def add_at(
+        self, target: np.ndarray, indices, values: np.ndarray
+    ) -> np.ndarray:
+        """Unbuffered scatter-add (``np.add.at`` semantics)."""
+        np.add.at(target, indices, values)
+        return target
+
+    def softmax(
+        self, x: np.ndarray, axis: int = -1, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Numerically stable softmax along ``axis``.
+
+        Matches the historical serve-path formulation exactly (shift by the
+        axis max, exponentiate, normalise) so the reference backend is
+        bit-equal to the pre-backend code.
+        """
+        shifted = x - x.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        result = exp / exp.sum(axis=axis, keepdims=True)
+        if out is None:
+            return result
+        out[...] = result
+        return out
+
+    def conv_window_gather(
+        self,
+        padded: np.ndarray,
+        window: int,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """im2col: ``(batch, length, ch)`` -> ``(batch, length - window + 1, window * ch)``.
+
+        Column layout matches :func:`repro.nn.functional.conv1d` so a matmul
+        against the flattened filter bank reproduces its output bit-for-bit.
+        """
+        batch, padded_length, channels = padded.shape
+        out_length = padded_length - window + 1
+        if out is None:
+            out = np.empty((batch, out_length, window * channels), dtype=padded.dtype)
+        for offset in range(window):
+            out[:, :, offset * channels:(offset + 1) * channels] = (
+                padded[:, offset:offset + out_length, :]
+            )
+        return out
+
+    def segment_max(
+        self,
+        x: np.ndarray,
+        segment_ids: np.ndarray,
+        num_segments: int,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-segment masked max pooling (the PCNN pooling stage).
+
+        ``x`` is ``(rows, length, channels)``; ``segment_ids`` is
+        ``(rows, length)`` with negatives marking padding.  Returns
+        ``(rows, num_segments * channels)``: each segment max-pooled over its
+        own positions, zero where a segment has no valid position.
+        """
+        rows, _, channels = x.shape
+        if out is None:
+            out = np.empty((rows, num_segments * channels), dtype=x.dtype)
+        for seg in range(num_segments):
+            seg_mask = segment_ids == seg
+            segment_slice = out[:, seg * channels:(seg + 1) * channels]
+            # Masked reduction: same values as `np.where(mask, x, -inf)
+            # .max(axis=1)` (max is exact) without materialising the masked
+            # copy.  Empty segments reduce to the -inf initial, then zero.
+            np.max(
+                x,
+                axis=1,
+                where=seg_mask[:, :, None],
+                initial=-np.inf,
+                out=segment_slice,
+            )
+            segment_slice[~seg_mask.any(axis=1)] = 0.0
+        return out
+
+    def __repr__(self) -> str:
+        dtype = "model" if self.serve_dtype is None else np.dtype(self.serve_dtype).name
+        return f"{type(self).__name__}(name={self.name!r}, serve_dtype={dtype})"
+
+
+class ReferenceBackend(ArrayBackend):
+    """Plain numpy at the model's own dtype — byte-preserves seed behaviour."""
+
+    name = "reference"
+    serve_dtype = None
+    reuse_workspace = False
+
+
+class FastBackend(ReferenceBackend):
+    """Float32 serve path with workspace reuse.
+
+    The kernels are inherited unchanged — what makes this backend fast is
+    policy, not arithmetic: weights and activations in float32 (half the
+    bandwidth, sgemm instead of dgemm) and scratch buffers pooled across
+    batches.  The final combined-logits softmax still runs in float64
+    (:func:`repro.batch.inference` casts before the last reduction), keeping
+    output probabilities within ``1e-5`` of the reference path.
+    """
+
+    name = "fast"
+    serve_dtype = np.dtype(np.float32)
+    reuse_workspace = True
+
+    def softmax(
+        self, x: np.ndarray, axis: int = -1, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Temporary-free softmax when an ``out`` buffer is supplied.
+
+        Runs the identical ufunc sequence as the reference kernel (subtract
+        axis max, exp, normalise), just in place, so results are bit-equal.
+        """
+        if out is None:
+            return super().softmax(x, axis=axis)
+        if out is not x:
+            out[...] = x
+        np.subtract(out, out.max(axis=axis, keepdims=True), out=out)
+        np.exp(out, out=out)
+        out /= out.sum(axis=axis, keepdims=True)
+        return out
+
+
+class TorchBackend(ArrayBackend):
+    """Torch-executed kernels (CPU); registered only when torch imports.
+
+    Keeps the numpy array call surface: inputs and outputs are numpy arrays,
+    torch only executes the inner matmul/gather. The dtype policy is neutral
+    (``serve_dtype=None``) — pair it with an explicit cast if desired.
+    """
+
+    name = "torch"
+    serve_dtype = None
+    reuse_workspace = False
+
+    def __init__(self) -> None:
+        import torch  # noqa: F401 — presence gate; ImportError aborts registration
+
+        self._torch = torch
+
+    def matmul(
+        self, a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        torch = self._torch
+        result = (
+            torch.from_numpy(np.ascontiguousarray(a))
+            @ torch.from_numpy(np.ascontiguousarray(b))
+        ).numpy()
+        if out is None:
+            return result
+        out[...] = result
+        return out
+
+    def gather_rows(
+        self,
+        table: np.ndarray,
+        indices: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        torch = self._torch
+        flat = np.ascontiguousarray(np.asarray(indices, dtype=np.int64).reshape(-1))
+        gathered = (
+            torch.from_numpy(np.ascontiguousarray(table))
+            .index_select(0, torch.from_numpy(flat))
+            .numpy()
+            .reshape(np.asarray(indices).shape + table.shape[1:])
+        )
+        if out is None:
+            return gathered
+        out[...] = gathered
+        return out
+
+
+# ---------------------------------------------------------------------- #
+# Registry
+# ---------------------------------------------------------------------- #
+_REGISTRY: Dict[str, ArrayBackend] = {}
+_OVERRIDE: Optional[str] = None
+
+
+def register_backend(backend: ArrayBackend, replace: bool = False) -> ArrayBackend:
+    """Add a backend instance to the registry under ``backend.name``."""
+    name = backend.name
+    if not name or name == "abstract":
+        raise ConfigurationError("backend must define a concrete name")
+    if name in _REGISTRY and not replace:
+        raise ConfigurationError(f"backend '{name}' is already registered")
+    _REGISTRY[name] = backend
+    return backend
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of every registered backend, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _lookup(name: str) -> ArrayBackend:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        choices = ", ".join(available_backends())
+        raise ConfigurationError(
+            f"unknown compute backend '{name}'; available backends: {choices}"
+        ) from None
+
+
+def get_backend(name: Optional[str] = None) -> ArrayBackend:
+    """Resolve a backend by name, falling back through the ambient layers.
+
+    Order: explicit ``name`` argument, then the process override installed by
+    :func:`set_backend`, then the ``REPRO_BACKEND`` environment variable,
+    then ``reference``.  Unknown names raise
+    :class:`~repro.exceptions.ConfigurationError` listing the choices.
+    """
+    if name is not None:
+        return _lookup(name)
+    if _OVERRIDE is not None:
+        return _lookup(_OVERRIDE)
+    env = os.environ.get(BACKEND_ENV_VAR)
+    if env:
+        return _lookup(env)
+    return _lookup(ReferenceBackend.name)
+
+
+def resolve_backend(
+    backend: Union[None, str, ArrayBackend],
+) -> ArrayBackend:
+    """Accept a backend instance, a name, or ``None`` (ambient resolution)."""
+    if isinstance(backend, ArrayBackend):
+        return backend
+    return get_backend(backend)
+
+
+def set_backend(name: Optional[str]) -> Optional[str]:
+    """Install (or clear, with ``None``) the process-wide backend override.
+
+    Returns the previous override so callers can restore it; prefer the
+    :func:`use_backend` context manager in tests.
+    """
+    global _OVERRIDE
+    if name is not None:
+        _lookup(name)  # fail fast on unknown names
+    previous = _OVERRIDE
+    _OVERRIDE = name
+    return previous
+
+
+class use_backend:
+    """Context manager scoping a :func:`set_backend` override."""
+
+    def __init__(self, name: Optional[str]) -> None:
+        self._name = name
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> ArrayBackend:
+        self._previous = set_backend(self._name)
+        return get_backend()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        set_backend(self._previous)
+
+
+register_backend(ReferenceBackend())
+register_backend(FastBackend())
+try:  # torch is optional and absent from the CI image
+    register_backend(TorchBackend())
+except ImportError:  # pragma: no cover - exercised only where torch exists
+    pass

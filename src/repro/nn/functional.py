@@ -185,7 +185,14 @@ def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generat
     if p >= 1.0:
         raise ValueError("dropout probability must be < 1")
     rng = rng or np.random.default_rng()
-    mask = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    # Draw the mask in the input's own precision: a float32 forward must not
+    # allocate a float64 temporary here.  float64 inputs keep the exact
+    # historical generator stream (`random(shape)` with no dtype argument).
+    if x.dtype == np.float32:
+        uniform = rng.random(x.shape, dtype=np.float32)
+    else:
+        uniform = rng.random(x.shape)
+    mask = (uniform >= p).astype(x.dtype) / (1.0 - p)
     out_data = x.data * mask
 
     def backward(grad: np.ndarray) -> None:

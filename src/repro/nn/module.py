@@ -80,6 +80,18 @@ class Module:
         """Total number of scalar parameters."""
         return sum(p.size for p in self.parameters())
 
+    def parameter_dtype(self) -> np.dtype:
+        """Dtype of the first floating-point parameter (the compute dtype).
+
+        Falls back to the global default dtype for parameter-less modules.
+        """
+        for param in self.parameters():
+            if param.data.dtype.kind == "f":
+                return param.data.dtype
+        from .tensor import get_default_dtype
+
+        return np.dtype(get_default_dtype())
+
     # ------------------------------------------------------------------ #
     # Training state
     # ------------------------------------------------------------------ #
@@ -97,6 +109,36 @@ class Module:
         """Reset gradients of all parameters."""
         for param in self.parameters():
             param.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # Dtype
+    # ------------------------------------------------------------------ #
+    def cast_(self, dtype) -> "Module":
+        """Cast every parameter (and registered buffer) to ``dtype``, in place.
+
+        Only float dtypes are accepted — the serving fast path uses this to
+        move a model to float32 once, instead of converting activations per
+        batch.  Modules holding non-parameter arrays the forward consumes
+        (for example the frozen entity table of
+        :class:`~repro.core.MutualRelationHead`) override
+        :meth:`_cast_buffers` so those follow along.
+        """
+        dtype = np.dtype(dtype)
+        if dtype.kind != "f":
+            from ..exceptions import ConfigurationError
+
+            raise ConfigurationError(
+                f"cast_ requires a float dtype, got {dtype}"
+            )
+        for module in self.modules():
+            for param in module._parameters.values():
+                if param is not None and param.data.dtype.kind == "f":
+                    param.data = param.data.astype(dtype, copy=False)
+            module._cast_buffers(dtype)
+        return self
+
+    def _cast_buffers(self, dtype: np.dtype) -> None:
+        """Hook for :meth:`cast_`: convert non-parameter float arrays."""
 
     # ------------------------------------------------------------------ #
     # Serialization

@@ -14,7 +14,7 @@ import numpy as np
 
 from . import init
 from .module import Module, Parameter
-from .tensor import Tensor, concatenate, stack, zeros
+from .tensor import Tensor, concatenate, stack
 
 
 class GRUCell(Module):
@@ -81,7 +81,10 @@ class GRU(Module):
 
     def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
         batch, length, _ = x.shape
-        h = zeros((batch, self.hidden_size))
+        # The initial hidden state follows the input dtype so a float32
+        # forward stays float32 end to end (zeros are dtype-exact, so the
+        # float64 path is unchanged bit for bit).
+        h = Tensor(np.zeros((batch, self.hidden_size), dtype=x.dtype))
         outputs = []
         for t in range(length):
             x_t = x[:, t, :]

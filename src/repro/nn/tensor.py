@@ -20,7 +20,8 @@ Design notes
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+import contextlib
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -30,14 +31,39 @@ _DEFAULT_DTYPE = np.float64
 
 
 def set_default_dtype(dtype: np.dtype) -> None:
-    """Set the dtype used when converting python data into tensors."""
+    """Set the dtype used when converting python data into tensors.
+
+    Only float dtypes are valid — integer or bool defaults would silently
+    truncate every weight initialisation downstream.  Raises
+    :class:`~repro.exceptions.ConfigurationError` otherwise.  Prefer the
+    scoped :func:`default_dtype` context manager in tests, which restores
+    the previous default on exit.
+    """
+    from ..exceptions import ConfigurationError
+
+    resolved = np.dtype(dtype)
+    if resolved.kind != "f":
+        raise ConfigurationError(
+            f"default dtype must be a float dtype, got {resolved}"
+        )
     global _DEFAULT_DTYPE
-    _DEFAULT_DTYPE = np.dtype(dtype)
+    _DEFAULT_DTYPE = resolved
 
 
 def get_default_dtype() -> np.dtype:
     """Return the dtype used when converting python data into tensors."""
     return np.dtype(_DEFAULT_DTYPE)
+
+
+@contextlib.contextmanager
+def default_dtype(dtype: np.dtype) -> Iterator[np.dtype]:
+    """Scope a default-dtype change: restore the previous default on exit."""
+    previous = get_default_dtype()
+    set_default_dtype(dtype)
+    try:
+        yield get_default_dtype()
+    finally:
+        set_default_dtype(previous)
 
 
 def _as_array(data: ArrayLike) -> np.ndarray:

@@ -367,7 +367,9 @@ class ServingDaemon:
         service untouched.
         """
         new_service = PredictionService.from_checkpoint(
-            checkpoint_path, batch_size=self._service.batch_size
+            checkpoint_path,
+            batch_size=self._service.batch_size,
+            backend=self._service.requested_backend,
         )
         self._service = new_service
         self.metrics.record_reload()
@@ -388,4 +390,12 @@ class ServingDaemon:
             }
             snapshot["running"] = self._running
         snapshot["model"] = self._service.model.describe()
+        snapshot["backend"] = {
+            "name": self._service.backend.name,
+            "serve_dtype": (
+                np.dtype(self._service.serve_dtype).name
+                if self._service.serve_dtype is not None
+                else None
+            ),
+        }
         return snapshot

@@ -203,6 +203,23 @@ class TestEmbeddingAndDropout:
         with pytest.raises(ValueError):
             F.dropout(Tensor(np.ones(3)), p=1.0, training=True)
 
+    def test_dropout_preserves_float32(self):
+        # The mask must be built in the input dtype — a float64 mask would
+        # silently promote every activation on the float32 serve path.
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((16, 8), dtype=np.float32))
+        out = F.dropout(x, p=0.5, training=True, rng=rng)
+        assert out.data.dtype == np.float32
+
+    def test_dropout_float64_rng_stream_unchanged(self):
+        # The float64 path must keep drawing doubles from the generator so
+        # masks (and everything sampled after them) stay bit-identical to
+        # earlier releases.
+        x = Tensor(np.ones((4, 3)))
+        out = F.dropout(x, p=0.5, training=True, rng=np.random.default_rng(7)).data
+        expected_mask = (np.random.default_rng(7).random((4, 3)) >= 0.5) / 0.5
+        np.testing.assert_array_equal(out, expected_mask)
+
 
 class TestConvolutionAndPooling:
     def test_conv1d_output_shape(self):

@@ -117,3 +117,31 @@ class TestContainers:
     def test_forward_not_implemented_on_bare_module(self):
         with pytest.raises(NotImplementedError):
             Module()(1)
+
+
+class TestCast:
+    def test_cast_converts_all_parameters(self):
+        model = _Toy()
+        result = model.cast_(np.float32)
+        assert result is model
+        assert all(p.data.dtype == np.float32 for p in model.parameters())
+        assert model.parameter_dtype() == np.float32
+        model.cast_(np.float64)
+        assert model.parameter_dtype() == np.float64
+
+    def test_cast_rejects_non_float(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            _Toy().cast_(np.int32)
+
+    def test_parameter_dtype_default_for_bare_module(self):
+        assert Module().parameter_dtype() == np.dtype(np.float64)
+
+    def test_cast_reaches_registered_buffers(self):
+        from repro.core.mutual_relation import MutualRelationHead
+
+        head = MutualRelationHead(np.zeros((4, 6)), num_relations=3)
+        head.cast_(np.float32)
+        assert head._entity_vectors.dtype == np.float32
+        assert head.classifier.weight.data.dtype == np.float32

@@ -350,3 +350,33 @@ class TestPropertyBased:
 
         numeric = numeric_gradient(lambda: float(loss().data), a.data)
         np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-7)
+
+
+class TestDefaultDtype:
+    def test_set_default_dtype_rejects_non_float(self):
+        from repro.exceptions import ConfigurationError
+        from repro.nn.tensor import set_default_dtype
+
+        with pytest.raises(ConfigurationError):
+            set_default_dtype(np.int64)
+        with pytest.raises(ConfigurationError):
+            set_default_dtype("int32")
+
+    def test_default_dtype_context_manager(self):
+        from repro.nn.tensor import default_dtype, get_default_dtype
+
+        before = get_default_dtype()
+        with default_dtype(np.float32):
+            assert np.dtype(get_default_dtype()) == np.float32
+            assert Tensor([1.0, 2.0]).data.dtype == np.float32
+        assert get_default_dtype() == before
+        assert Tensor([1.0, 2.0]).data.dtype == np.dtype(before)
+
+    def test_default_dtype_restores_on_error(self):
+        from repro.nn.tensor import default_dtype, get_default_dtype
+
+        before = get_default_dtype()
+        with pytest.raises(RuntimeError):
+            with default_dtype(np.float32):
+                raise RuntimeError("boom")
+        assert get_default_dtype() == before
