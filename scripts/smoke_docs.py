@@ -32,6 +32,7 @@ DEFAULT_DOCS = [
     "docs/architecture.md",
     "docs/serving.md",
     "docs/daemon.md",
+    "docs/streaming.md",
     "docs/api.md",
 ]
 

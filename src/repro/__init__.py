@@ -21,6 +21,10 @@ The package is organised as:
 * :mod:`repro.serve` — batched inference service over a trained model, plus
   the long-lived online serving daemon (:class:`repro.serve.ServingDaemon`:
   adaptive micro-batching, hot checkpoint reload, metrics);
+* :mod:`repro.ingest` — streaming distant supervision: incremental
+  corpus/graph/embedding refresh (:class:`repro.StreamIngestor`) publishing
+  immutable versioned artifact sets (:class:`repro.ArtifactVersionStore`)
+  that a watching daemon hot-reloads;
 * :mod:`repro.utils` — logging, rng, serialization, the artifact cache and
   the versioned model-checkpoint format (:mod:`repro.utils.checkpoint`);
 * :mod:`repro.api` — the :class:`Session` facade tying experiments, training
@@ -36,6 +40,7 @@ from .config import (
     DaemonConfig,
     ExperimentConfig,
     GraphEmbeddingConfig,
+    IngestConfig,
     ModelConfig,
     ScaleProfile,
     TrainingConfig,
@@ -66,10 +71,11 @@ from .eval import HeldOutEvaluator
 from .graph import EntityEmbeddings, EntityProximityGraph, LineConfig, train_entity_embeddings
 from .kb import KnowledgeBase, KnowledgeBaseGenerator, RelationSchema
 from .serve import PredictionRequest, PredictionResult, PredictionService, ServingDaemon
+from .ingest import ArtifactVersionStore, StreamIngestor
 from .training import Trainer
 from .utils import ArtifactCache
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 # The facade imports the experiment registry and CLI helpers, so it must come
 # after every subsystem above is initialised.
@@ -120,6 +126,9 @@ __all__ = [
     "PredictionResult",
     "ServingDaemon",
     "DaemonConfig",
+    "IngestConfig",
+    "StreamIngestor",
+    "ArtifactVersionStore",
     "ArtifactCache",
     "api",
     "Session",

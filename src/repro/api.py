@@ -21,11 +21,12 @@ never touch it except for the scoped install around each experiment run.
 
 from __future__ import annotations
 
+import copy
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from .cli import resolve_profile
-from .config import DaemonConfig, ScaleProfile
+from .config import DaemonConfig, IngestConfig, ScaleProfile
 from .eval.heldout import EvaluationResult
 from .experiments import registry
 from .experiments.pipeline import ExperimentContext, prepare_context, train_and_evaluate
@@ -172,6 +173,46 @@ class Session:
             model,
             batch_size=batch_size,
             backend=backend if backend is not None else self.profile.serve_backend,
+        )
+
+    def ingestor(
+        self,
+        method_or_model=None,
+        dataset: str = "nyt",
+        version_root: Optional[PathLike] = None,
+        config: Optional[IngestConfig] = None,
+    ):
+        """A :class:`~repro.ingest.StreamIngestor` over this session's context.
+
+        ``method_or_model`` may be a method name (trained through the cached
+        context first), a fitted method, a :class:`NeuralREModel`, or ``None``
+        for a model-free ingestor (corpus/graph/embedding refresh without
+        checkpoint publishing).  The model is deep-copied: ingest rounds swap
+        its mutual-relation entity table, and the session's cached trained
+        methods must stay untouched.
+
+        ``version_root`` names a directory for an
+        :class:`~repro.ingest.ArtifactVersionStore`; without one, refreshes
+        stay in-process and nothing publishes.  ``config`` defaults to the
+        profile's :meth:`ScaleProfile.ingest_config`.
+        """
+        # Delayed import: the ingest package pulls the pipeline stack, which
+        # the lightweight api module must not import at module load.
+        from .ingest import ArtifactVersionStore, StreamIngestor
+
+        model = None
+        if method_or_model is not None:
+            if isinstance(method_or_model, str):
+                method_or_model = self.train(method_or_model, dataset=dataset)[0]
+            model = copy.deepcopy(checkpointable_model(method_or_model))
+        version_store = (
+            ArtifactVersionStore(version_root) if version_root is not None else None
+        )
+        return StreamIngestor.from_context(
+            self.context(dataset),
+            model=model,
+            config=config,
+            version_store=version_store,
         )
 
     def daemon(

@@ -14,6 +14,10 @@ Commands
 ``serve``
     Load a checkpoint and answer a JSON file of prediction requests
     (``python -m repro serve --checkpoint ./ckpt --requests reqs.json``).
+``ingest``
+    Tail a synthetic delta stream through the streaming ingest loop
+    (``python -m repro ingest --method pa_mr --rounds 3 --versions ./v``),
+    printing one JSON report line per refresh round.
 
 Exit codes follow the argparse convention: ``0`` success, ``1`` runtime
 failure (corrupt checkpoint, broken data), ``2`` usage errors
@@ -357,6 +361,51 @@ def _serve_via_daemon(service, requests, args: argparse.Namespace):
 
 
 # ---------------------------------------------------------------------- #
+# ingest
+# ---------------------------------------------------------------------- #
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Tail a synthetic delta stream through the streaming ingest loop.
+
+    Each round generates ``--batch-bags`` knowledge-base-named delta bags,
+    runs one :meth:`~repro.ingest.StreamIngestor.ingest` refresh and prints
+    the round report as one JSON line (machine-readable: the CI streaming
+    smoke parses version monotonicity out of these lines).
+    """
+    # Delayed import: api imports this module for resolve_profile.
+    from .api import Session
+    from .ingest import synthetic_delta_bags
+
+    profile = resolve_profile(args.profile)
+    if args.rounds <= 0:
+        raise UsageError("--rounds must be positive")
+    session = Session(profile=profile, seed=args.seed, cache_dir=args.cache_dir)
+    config = profile.ingest_config()
+    if args.batch_bags is not None:
+        config.batch_bags = args.batch_bags
+    if args.keep_versions is not None:
+        config.keep_versions = args.keep_versions
+    if args.finetune_epochs is not None:
+        config.finetune_epochs = args.finetune_epochs
+    config.validate()
+    method = None if args.method.lower() in ("none", "") else args.method
+    ingestor = session.ingestor(
+        method, dataset=args.dataset, version_root=args.versions, config=config
+    )
+    context = session.context(args.dataset)
+    for round_index in range(args.rounds):
+        bags = synthetic_delta_bags(
+            context.bundle.kb,
+            config.batch_bags,
+            context.bundle.schema.num_relations,
+            vocabulary=context.bundle.vocabulary,
+            seed=args.seed * 10_000 + round_index,
+        )
+        report = ingestor.ingest(bags)
+        print(json.dumps(report.as_dict()))
+    return 0
+
+
+# ---------------------------------------------------------------------- #
 # Parser
 # ---------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
@@ -475,6 +524,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="daemon: batch executor threads"
     )
     serve_parser.set_defaults(func=_cmd_serve)
+
+    ingest_parser = subparsers.add_parser(
+        "ingest",
+        help="stream synthetic deltas through the incremental ingest loop",
+    )
+    ingest_parser.add_argument(
+        "--method",
+        default="pa_mr",
+        help="method kept hot across refreshes ('none' for a model-free loop)",
+    )
+    ingest_parser.add_argument("--dataset", default="nyt", choices=("nyt", "gds"))
+    ingest_parser.add_argument("--profile", default="tiny", choices=sorted(PROFILES))
+    ingest_parser.add_argument("--seed", type=int, default=0)
+    ingest_parser.add_argument("--rounds", type=int, default=3, help="ingest rounds to run")
+    ingest_parser.add_argument(
+        "--batch-bags", type=int, default=None, help="delta bags per round (profile default)"
+    )
+    ingest_parser.add_argument(
+        "--versions",
+        default=None,
+        help="artifact version-store directory (omit to skip publishing)",
+    )
+    ingest_parser.add_argument(
+        "--keep-versions", type=int, default=None, help="retention (0 disables pruning)"
+    )
+    ingest_parser.add_argument(
+        "--finetune-epochs", type=int, default=None, help="LINE fine-tune passes per round"
+    )
+    ingest_parser.add_argument("--cache-dir", default=None)
+    ingest_parser.set_defaults(func=_cmd_ingest)
     return parser
 
 

@@ -234,6 +234,48 @@ class DaemonConfig:
 
 
 @dataclass
+class IngestConfig:
+    """Knobs of the streaming ingest loop (:mod:`repro.ingest`).
+
+    One :meth:`~repro.ingest.stream.StreamIngestor.ingest` round appends a
+    delta of new bags, refinalizes the proximity graph, fine-tunes the LINE
+    embeddings on the dirty neighbourhood and publishes a fresh artifact
+    version.  ``propagation_layers``/``propagation_alpha`` mirror the batch
+    pipeline's knobs so the ingestor's embedding state stays comparable with
+    a prepared context's.
+    """
+
+    batch_bags: int = 64           # bags per synthetic-stream ingest round (CLI)
+    keep_versions: int = 3         # version-store retention (0 disables pruning)
+    poll_interval_ms: float = 50.0 # daemon watch poll cadence
+    finetune_epochs: int = 2       # passes over dirty-incident edges per round
+    propagation_layers: int = 0    # 0 = raw LINE embeddings (no propagation)
+    propagation_alpha: float = 0.5
+
+    def validate(self) -> None:
+        if self.batch_bags <= 0:
+            raise ConfigurationError("batch_bags must be positive")
+        if self.keep_versions < 0:
+            raise ConfigurationError("keep_versions must be >= 0 (0 disables pruning)")
+        if self.poll_interval_ms <= 0:
+            raise ConfigurationError("poll_interval_ms must be positive")
+        if self.finetune_epochs < 0:
+            raise ConfigurationError("finetune_epochs must be >= 0")
+        if self.propagation_layers < 0:
+            raise ConfigurationError("propagation_layers must be >= 0 (0 disables)")
+        if not 0.0 <= self.propagation_alpha <= 1.0:
+            raise ConfigurationError("propagation_alpha must be in [0, 1]")
+
+    @property
+    def poll_interval_seconds(self) -> float:
+        """The watch cadence in seconds (the unit the daemon's poller uses)."""
+        return self.poll_interval_ms / 1000.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return asdict(self)
+
+
+@dataclass
 class ScaleProfile:
     """Scale of the synthetic datasets and training runs.
 
@@ -283,6 +325,13 @@ class ScaleProfile:
     encode_workers: int = 0
     mmap: bool = False
     stream_num_bags: int = 0
+    # Streaming ingest knobs (repro.ingest), forwarded into IngestConfig by
+    # ingest_config(); the `python -m repro ingest` subcommand and the
+    # streaming benchmark read them from the profile.
+    ingest_batch_bags: int = 64
+    ingest_keep_versions: int = 3
+    ingest_poll_interval_ms: float = 50.0
+    ingest_finetune_epochs: int = 2
 
     @classmethod
     def tiny(cls) -> "ScaleProfile":
@@ -359,6 +408,24 @@ class ScaleProfile:
             batched_training=self.batched_training,
         )
         config.batch_size = max(8, min(32, self.model_config().batch_size))
+        return config
+
+    def ingest_config(self) -> IngestConfig:
+        """Streaming-ingest configuration scaled to this profile.
+
+        Inherits the profile's propagation knobs so an ingestor built from a
+        prepared context starts from embedding state bit-equal to the
+        context's.
+        """
+        config = IngestConfig(
+            batch_bags=self.ingest_batch_bags,
+            keep_versions=self.ingest_keep_versions,
+            poll_interval_ms=self.ingest_poll_interval_ms,
+            finetune_epochs=self.ingest_finetune_epochs,
+            propagation_layers=self.propagation_layers,
+            propagation_alpha=self.propagation_alpha,
+        )
+        config.validate()
         return config
 
     def daemon_config(self) -> DaemonConfig:

@@ -77,6 +77,30 @@ class MutualRelationHead(nn.Module):
         """
         self._entity_vectors = self._entity_vectors.astype(dtype, copy=False)
 
+    @property
+    def entity_vectors(self) -> np.ndarray:
+        """The frozen per-entity LINE table (read-only view for callers)."""
+        return self._entity_vectors
+
+    def refresh_entity_vectors(self, entity_vectors: np.ndarray) -> None:
+        """Swap in a refreshed frozen entity table (streaming ingest path).
+
+        The table stays a non-parameter buffer — the classifier weights are
+        untouched — so this is the model-side half of an incremental
+        embedding refresh: rebuild the table from the new propagated
+        embeddings via :func:`build_entity_vector_table` and swap it here
+        before publishing a serving checkpoint.  The shape must match the
+        table the head was built with (the knowledge base's entity space
+        does not change across a refresh).
+        """
+        entity_vectors = np.asarray(entity_vectors)
+        if entity_vectors.shape != self._entity_vectors.shape:
+            raise ConfigurationError(
+                f"refreshed entity table has shape {entity_vectors.shape}; "
+                f"expected {self._entity_vectors.shape}"
+            )
+        self._entity_vectors = entity_vectors.astype(self._entity_vectors.dtype, copy=False)
+
     def mutual_relation_vector(self, head_entity_id: int, tail_entity_id: int) -> np.ndarray:
         """``MR = U_tail - U_head`` as a plain numpy vector.
 

@@ -49,7 +49,7 @@ import os
 import shutil
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, List, Sequence, Union
+from typing import Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -370,6 +370,80 @@ class CorpusStore:
             head_type_offsets=head_type_offsets,
             tail_type_ids=tail_type_ids,
             tail_type_offsets=tail_type_offsets,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Streaming append
+    # ------------------------------------------------------------------ #
+    def append_store(
+        self,
+        delta: "CorpusStore",
+        vocab_size: Optional[int] = None,
+        num_relations: Optional[int] = None,
+    ) -> "CorpusStore":
+        """A new store holding this store's bags followed by ``delta``'s.
+
+        Pure columnar concatenation with offset re-basing — O(total rows),
+        no per-bag work — and the streaming append primitive used by
+        :class:`repro.ingest.StreamIngestor`.  Either operand may be a
+        memmapped format-v3 store; the result is a fresh in-RAM store (the
+        ingestor persists it back to the shard layout per published
+        version).  ``vocab_size`` / ``num_relations`` optionally validate
+        the delta's token and label ids against the serving vocabulary —
+        a delta encoded with a different vocabulary raises
+        :class:`DataError`, as does dtype drift in any delta column.
+        """
+        for name in _ALL_COLUMNS:
+            column = np.asarray(getattr(delta, name))
+            if column.dtype != np.int64:
+                raise DataError(
+                    f"delta column {name} has dtype {column.dtype}; "
+                    "append_store requires the store's int64 layout"
+                )
+        if vocab_size is not None and delta.num_tokens:
+            tokens = np.asarray(delta.token_ids)
+            lowest, highest = int(tokens.min()), int(tokens.max())
+            if lowest < 0 or highest >= vocab_size:
+                raise DataError(
+                    f"delta token ids span [{lowest}, {highest}], outside the "
+                    f"serving vocabulary of size {vocab_size}; was the delta "
+                    "encoded with a different vocabulary?"
+                )
+        if num_relations is not None and delta.num_bags:
+            labels = np.asarray(delta.labels)
+            if int(labels.min()) < 0 or int(labels.max()) >= num_relations:
+                raise DataError(
+                    f"delta labels span [{int(labels.min())}, {int(labels.max())}], "
+                    f"outside the relation schema of size {num_relations}"
+                )
+
+        def _stack(name: str) -> np.ndarray:
+            return np.concatenate(
+                [np.asarray(getattr(self, name)), np.asarray(getattr(delta, name))]
+            )
+
+        def _rebase(name: str, shift: int) -> np.ndarray:
+            ours = np.asarray(getattr(self, name))
+            theirs = np.asarray(getattr(delta, name))
+            return np.concatenate([ours, theirs[1:] + np.int64(shift)])
+
+        return CorpusStore(
+            token_ids=_stack("token_ids"),
+            head_position_ids=_stack("head_position_ids"),
+            tail_position_ids=_stack("tail_position_ids"),
+            segment_ids=_stack("segment_ids"),
+            sentence_offsets=_rebase("sentence_offsets", self.num_tokens),
+            bag_offsets=_rebase("bag_offsets", self.num_sentences),
+            bag_widths=_stack("bag_widths"),
+            labels=_stack("labels"),
+            head_entity_ids=_stack("head_entity_ids"),
+            tail_entity_ids=_stack("tail_entity_ids"),
+            relation_ids=_stack("relation_ids"),
+            relation_offsets=_rebase("relation_offsets", int(self.relation_offsets[-1])),
+            head_type_ids=_stack("head_type_ids"),
+            head_type_offsets=_rebase("head_type_offsets", int(self.head_type_offsets[-1])),
+            tail_type_ids=_stack("tail_type_ids"),
+            tail_type_offsets=_rebase("tail_type_offsets", int(self.tail_type_offsets[-1])),
         )
 
     # ------------------------------------------------------------------ #

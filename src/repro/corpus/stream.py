@@ -21,8 +21,11 @@ statistical fidelity for throughput:
   mode's memory behaviour is measured in a clean address space, optionally
   under a hard ``RLIMIT_DATA`` cap.
 
-ROADMAP item 3 (streaming ingestion) will grow real readers behind the same
-generator contract.
+ROADMAP item 3's streaming-ingestion loop lives in :mod:`repro.ingest`: a
+:class:`~repro.ingest.stream.StreamIngestor` consumes batches from this
+generator contract (or :func:`repro.ingest.stream.synthetic_delta_bags` for
+knowledge-base-named deltas) and refreshes corpus, graph, embeddings and the
+serving checkpoint incrementally.
 """
 
 from __future__ import annotations

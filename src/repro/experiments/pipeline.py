@@ -186,6 +186,12 @@ def prepare_context(
     profile_key.pop("encode_workers", None)
     profile_key.pop("mmap", None)
     profile_key.pop("stream_num_bags", None)
+    # The streaming-ingest knobs only shape post-context refresh rounds
+    # (repro.ingest); the batch artifacts they start from are identical.
+    profile_key.pop("ingest_batch_bags", None)
+    profile_key.pop("ingest_keep_versions", None)
+    profile_key.pop("ingest_poll_interval_ms", None)
+    profile_key.pop("ingest_finetune_epochs", None)
     stage_key = {
         "dataset": dataset,
         "profile": profile_key,

@@ -14,19 +14,23 @@ implementations as the executable specification the parity tests check
 against.
 """
 
-from .alias import AliasSampler, build_alias_tables
-from .proximity import EntityProximityGraph
+from .alias import AliasSampler, NeighborAliasTables, build_alias_tables
+from .proximity import EntityProximityGraph, RefinalizeReport
 from .line import LineEmbeddingTrainer, LineConfig
 from .embeddings import EntityEmbeddings, train_entity_embeddings
-from .propagation import propagate_embeddings
+from .propagation import hop_closure, propagate_embeddings, propagate_embeddings_incremental
 
 __all__ = [
     "AliasSampler",
+    "NeighborAliasTables",
     "build_alias_tables",
     "EntityProximityGraph",
+    "RefinalizeReport",
     "LineConfig",
     "LineEmbeddingTrainer",
     "EntityEmbeddings",
     "train_entity_embeddings",
+    "hop_closure",
     "propagate_embeddings",
+    "propagate_embeddings_incremental",
 ]

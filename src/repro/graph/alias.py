@@ -82,6 +82,115 @@ def build_alias_tables(weights: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     return prob, alias
 
 
+class NeighborAliasTables:
+    """Per-vertex alias tables over each CSR row's neighbour weights.
+
+    One Walker table per graph vertex, stored flat and aligned with the CSR
+    ``indices`` array: row ``v``'s table lives at
+    ``prob[indptr[v]:indptr[v+1]]`` / ``alias[indptr[v]:indptr[v+1]]``, and a
+    draw returns a *position into the row segment* (so
+    ``indices[indptr[v] + draw]`` is the sampled neighbour).
+
+    The point of the class is the streaming refresh path:
+    :meth:`refresh` splices a post-:meth:`~EntityProximityGraph.refinalize`
+    CSR into the tables by copying the untouched rows' segments verbatim
+    (they are bit-equal by the graph's parity contract) and rebuilding only
+    the dirty rows, so an incremental update is bit-equal to
+    :meth:`from_csr` over the new graph while doing O(dirty rows) table
+    work.
+    """
+
+    def __init__(self, indptr: np.ndarray, prob: np.ndarray, alias: np.ndarray) -> None:
+        self._indptr = np.asarray(indptr, dtype=np.int64)
+        self._prob = np.asarray(prob, dtype=np.float64)
+        self._alias = np.asarray(alias, dtype=np.int64)
+        if self._prob.shape != self._alias.shape or self._prob.ndim != 1:
+            raise ValueError("prob and alias must be aligned 1-D arrays")
+        if self._indptr.ndim != 1 or self._indptr.size == 0 or self._indptr[-1] != self._prob.size:
+            raise ValueError("indptr must be a CSR offset array covering the tables")
+
+    @classmethod
+    def from_csr(cls, indptr: np.ndarray, weights: np.ndarray) -> "NeighborAliasTables":
+        """Build every row's table from a CSR ``(indptr, weights)`` pair."""
+        indptr = np.asarray(indptr, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.float64)
+        prob = np.empty(weights.size, dtype=np.float64)
+        alias = np.empty(weights.size, dtype=np.int64)
+        for row in range(indptr.size - 1):
+            start, stop = int(indptr[row]), int(indptr[row + 1])
+            if stop > start:
+                prob[start:stop], alias[start:stop] = build_alias_tables(weights[start:stop])
+        return cls(indptr, prob, alias)
+
+    @property
+    def num_rows(self) -> int:
+        return int(self._indptr.size - 1)
+
+    def row_tables(self, row: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Row ``row``'s ``(prob, alias)`` segment (views into the flat store)."""
+        start, stop = int(self._indptr[row]), int(self._indptr[row + 1])
+        return self._prob[start:stop], self._alias[start:stop]
+
+    def refresh(
+        self,
+        old_to_new: np.ndarray,
+        indptr: np.ndarray,
+        weights: np.ndarray,
+        dirty_rows: np.ndarray,
+    ) -> "NeighborAliasTables":
+        """Tables for a refinalized CSR, rebuilding only the dirty rows.
+
+        ``old_to_new`` maps this table's row ids into the new CSR's row space
+        (a :class:`~repro.graph.proximity.RefinalizeReport` provides it);
+        rows not covered by the map (new vertices) must be listed in
+        ``dirty_rows``.  Untouched rows' segments are copied bit-for-bit.
+        """
+        old_to_new = np.asarray(old_to_new, dtype=np.int64)
+        indptr = np.asarray(indptr, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.float64)
+        num_rows = indptr.size - 1
+        dirty = np.zeros(num_rows, dtype=bool)
+        dirty[np.asarray(dirty_rows, dtype=np.int64)] = True
+        covered = np.zeros(num_rows, dtype=bool)
+        covered[old_to_new] = True
+        if not np.all(dirty | covered):
+            raise ValueError("every row absent from old_to_new must be marked dirty")
+
+        prob = np.empty(weights.size, dtype=np.float64)
+        alias = np.empty(weights.size, dtype=np.int64)
+        new_of_old = np.full(num_rows, -1, dtype=np.int64)
+        new_of_old[old_to_new] = np.arange(old_to_new.size)
+        for row in range(num_rows):
+            start, stop = int(indptr[row]), int(indptr[row + 1])
+            if stop == start:
+                continue
+            if dirty[row]:
+                prob[start:stop], alias[start:stop] = build_alias_tables(weights[start:stop])
+            else:
+                old_prob, old_alias = self.row_tables(int(new_of_old[row]))
+                if old_prob.size != stop - start:
+                    raise ValueError(
+                        f"row {row} changed size but is not marked dirty; "
+                        "the dirty set does not match the CSR delta"
+                    )
+                prob[start:stop] = old_prob
+                alias[start:stop] = old_alias
+        return NeighborAliasTables(indptr, prob, alias)
+
+    def sample_neighbors(self, rng: np.random.Generator, vertices: np.ndarray) -> np.ndarray:
+        """One neighbour-slot draw per vertex (positions into each row segment)."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        starts = self._indptr[vertices]
+        sizes = self._indptr[vertices + 1] - starts
+        if np.any(sizes <= 0):
+            raise ValueError("cannot sample a neighbour of an isolated vertex")
+        columns = (rng.random(vertices.size) * sizes).astype(np.int64)
+        columns = np.minimum(columns, sizes - 1)
+        coins = rng.random(vertices.size)
+        flat = starts + columns
+        return np.where(coins < self._prob[flat], columns, self._alias[flat])
+
+
 class AliasSampler:
     """Draw indices in proportion to a fixed vector of non-negative weights."""
 

@@ -62,6 +62,11 @@ class LineConfig:
         Seed of the trainer's random generator (initialisation and both
         samplers); fixing it makes the embedding stage fully deterministic,
         which the artifact cache relies on.
+    finetune_epochs:
+        Streaming refresh only: number of passes :meth:`LineEmbeddingTrainer.finetune`
+        makes over the edges incident to a dirty vertex set after a graph
+        :meth:`~repro.graph.proximity.EntityProximityGraph.refinalize`
+        (``0`` skips fine-tuning entirely).  Batch training ignores it.
     """
 
     embedding_dim: int = 128
@@ -71,6 +76,7 @@ class LineConfig:
     batch_edges: int = 256
     sample_chunk_edges: int = 65536
     seed: int = 0
+    finetune_epochs: int = 2
 
     def __post_init__(self) -> None:
         if self.embedding_dim <= 0 or self.embedding_dim % 2 != 0:
@@ -85,6 +91,8 @@ class LineConfig:
             raise GraphError("batch_edges must be positive")
         if self.sample_chunk_edges <= 0:
             raise GraphError("sample_chunk_edges must be positive")
+        if self.finetune_epochs < 0:
+            raise GraphError("finetune_epochs must be >= 0")
 
     @property
     def order_dim(self) -> int:
@@ -265,6 +273,94 @@ class LineEmbeddingTrainer:
             self._history["first_order_last_loss"].append(loss1)
             self._history["second_order_last_loss"].append(loss2)
         return self._history
+
+    # ------------------------------------------------------------------ #
+    # Streaming warm start / targeted fine-tune
+    # ------------------------------------------------------------------ #
+    def warm_start(
+        self,
+        rows: np.ndarray,
+        first_order: np.ndarray,
+        second_order: np.ndarray,
+        second_context: np.ndarray,
+    ) -> None:
+        """Overwrite ``rows`` of the three tables with carried-over vectors.
+
+        The streaming ingestor builds a fresh trainer on the refinalized
+        graph and then copies the previous round's (raw, unnormalised)
+        tables into the surviving vertices' rows via the refinalize report's
+        id remap; rows *not* listed keep this trainer's deterministic random
+        initialisation, which is how vertices new to the graph get their
+        starting vectors.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        d = self.config.order_dim
+        for name, table in (
+            ("first_order", first_order),
+            ("second_order", second_order),
+            ("second_context", second_context),
+        ):
+            table = np.asarray(table, dtype=np.float64)
+            if table.shape != (rows.size, d):
+                raise GraphError(
+                    f"warm-start {name} rows have shape {table.shape}, "
+                    f"expected {(rows.size, d)}"
+                )
+        self.first_order[rows] = first_order
+        self.second_order[rows] = second_order
+        self.second_context[rows] = second_context
+
+    def finetune(self, vertex_ids: np.ndarray) -> np.ndarray:
+        """Fine-tune restricted to edges incident to ``vertex_ids``.
+
+        Runs ``config.finetune_epochs`` passes over the incident edge subset
+        with the same closed-form negative-sampling SGD as :meth:`train`, at
+        a constant ``learning_rate`` (no decay — this is a refinement of an
+        already-trained table, not a fresh optimisation).  Positive edges
+        are drawn from the incident subset and negatives from the subset's
+        endpoint set (degree^0.75 within it), so only rows in the returned
+        array are ever written — embeddings of vertices outside the dirty
+        1-hop neighbourhood stay bit-identical, which the streaming parity
+        contract relies on.
+
+        Returns the sorted vertex ids whose table rows may have changed.
+        """
+        vertex_ids = np.asarray(vertex_ids, dtype=np.int64)
+        if vertex_ids.size == 0 or self.config.finetune_epochs == 0:
+            return np.empty(0, dtype=np.int64)
+        incident = np.isin(self._sources, vertex_ids) | np.isin(self._targets, vertex_ids)
+        incident_idx = np.flatnonzero(incident)
+        if incident_idx.size == 0:
+            return np.empty(0, dtype=np.int64)
+        sources = self._sources[incident_idx]
+        targets = self._targets[incident_idx]
+        touched = np.unique(np.concatenate([sources, targets]))
+        edge_sampler = AliasSampler(self._weights[incident_idx])
+        negative_sampler = AliasSampler(self.graph.degrees[touched] ** 0.75)
+        batch = min(self.config.batch_edges, incident_idx.size)
+        k = self.config.negative_samples
+        steps = self.config.finetune_epochs * max(1, incident_idx.size // batch)
+        lr = self.config.learning_rate
+        for _ in range(steps):
+            picks = edge_sampler.sample(self._rng, size=batch)
+            step_sources, step_targets = sources[picks], targets[picks]
+            flip = self._rng.random(batch) < 0.5
+            step_sources, step_targets = (
+                np.where(flip, step_targets, step_sources),
+                np.where(flip, step_sources, step_targets),
+            )
+            negatives = touched[
+                negative_sampler.sample(self._rng, size=batch * k).reshape(batch, k)
+            ]
+            self._step_order(
+                self.first_order, self.first_order,
+                step_sources, step_targets, negatives, lr,
+            )
+            self._step_order(
+                self.second_order, self.second_context,
+                step_sources, step_targets, negatives, lr,
+            )
+        return touched
 
     # ------------------------------------------------------------------ #
     # Output

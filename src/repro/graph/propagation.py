@@ -26,11 +26,12 @@ parity tests compare against.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..exceptions import GraphError
+from ..utils.arrays import concat_ranges
 from .embeddings import EntityEmbeddings
 from .proximity import EntityProximityGraph
 
@@ -139,6 +140,129 @@ def propagate_embeddings(
         norms = np.where(norms == 0.0, 1.0, norms)
         current = current / norms
     return EntityEmbeddings(names, current)
+
+
+def hop_closure(
+    graph: EntityProximityGraph, vertex_ids: np.ndarray, hops: int
+) -> np.ndarray:
+    """Sorted vertex ids within ``hops`` edges of ``vertex_ids`` (inclusive).
+
+    A CSR frontier expansion: each hop gathers the current frontier's
+    neighbour segments and keeps the vertices not seen before, so the work
+    is O(edges incident to the closure), not O(graph).
+    """
+    if hops < 0:
+        raise GraphError("hops must be >= 0")
+    indptr, indices, _ = graph.csr_arrays()
+    closure = np.unique(np.asarray(vertex_ids, dtype=np.int64))
+    frontier = closure
+    for _ in range(hops):
+        if frontier.size == 0:
+            break
+        starts = indptr[frontier]
+        lengths = indptr[frontier + 1] - starts
+        neighbours = indices[concat_ranges(starts, lengths)]
+        fresh = np.setdiff1d(neighbours, closure)
+        if fresh.size == 0:
+            break
+        closure = np.union1d(closure, fresh)
+        frontier = fresh
+    return closure
+
+
+def propagate_embeddings_incremental(
+    graph: EntityProximityGraph,
+    base: np.ndarray,
+    previous: np.ndarray,
+    changed_rows: np.ndarray,
+    num_layers: int = 2,
+    alpha: float = 0.5,
+    renormalize: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Re-run propagation restricted to the subgraph a change can reach.
+
+    The streaming refresh path: ``base`` is the refreshed per-vertex input
+    matrix over the (refinalized) graph's vertex space, ``previous`` the
+    prior full propagation output re-mapped to the same space, and
+    ``changed_rows`` every vertex whose base vector, CSR row or degree
+    differs from the state ``previous`` was computed from (dirty vertices,
+    the fine-tuned neighbourhood, new vertices).
+
+    A vertex's layer-``L`` output depends on inputs at most ``L`` hops away,
+    so only ``affected = hop_closure(changed_rows, num_layers)`` rows can
+    change.  Layer ``k`` is evaluated on ``hop_closure(affected,
+    num_layers - k)`` — exactly the rows whose layer-``k`` values feed the
+    affected rows — with the same scale / reduceat-per-row-segment /
+    residual arithmetic as :func:`propagate_embeddings`, in the same
+    operation order, so every recomputed row is bit-equal to a full
+    propagation over ``base`` and every untouched row keeps ``previous``
+    verbatim.
+
+    Returns ``(vectors, affected_rows)``.
+    """
+    if num_layers < 1:
+        raise GraphError("num_layers must be at least 1")
+    if not 0.0 <= alpha <= 1.0:
+        raise GraphError("alpha must be in [0, 1]")
+    base = np.asarray(base, dtype=np.float64)
+    previous = np.asarray(previous, dtype=np.float64)
+    n = graph.num_vertices
+    if base.ndim != 2 or base.shape[0] != n:
+        raise GraphError(
+            f"base matrix has shape {base.shape}; expected ({n}, dim) rows "
+            "aligned with the graph's vertex space"
+        )
+    if previous.shape != base.shape:
+        raise GraphError(
+            f"previous propagation output has shape {previous.shape}, "
+            f"expected {base.shape}"
+        )
+    changed = np.unique(np.asarray(changed_rows, dtype=np.int64))
+    if changed.size == 0:
+        return previous.copy(), changed
+    if changed[0] < 0 or changed[-1] >= n:
+        raise GraphError("changed_rows contains ids outside the vertex space")
+
+    affected = hop_closure(graph, changed, num_layers)
+    layer_rows = [affected]
+    for _ in range(num_layers - 1):
+        layer_rows.append(hop_closure(graph, layer_rows[-1], 1))
+    layer_rows.reverse()  # layer_rows[k] = rows recomputed at layer k+1
+
+    indptr, indices, weights = graph.csr_arrays()
+    inverse_sqrt = 1.0 / np.sqrt(graph.degrees + 1.0)
+
+    current = base.copy()
+    for rows in layer_rows:
+        starts = indptr[rows]
+        sizes = indptr[rows + 1] - starts
+        flat = concat_ranges(starts, sizes)
+        summed = np.zeros((rows.size, base.shape[1]))
+        if flat.size:
+            gathered = indices[flat]
+            # Same elementwise order as propagate_embeddings: scale the
+            # neighbour rows first, then weight the contributions.
+            contributions = weights[flat][:, None] * (
+                inverse_sqrt[gathered][:, None] * current[gathered]
+            )
+            local_starts = np.zeros(rows.size, dtype=np.int64)
+            np.cumsum(sizes[:-1], out=local_starts[1:])
+            nonempty = sizes > 0
+            summed[nonempty] = np.add.reduceat(
+                contributions, local_starts[nonempty], axis=0
+            )
+        scaled_rows = inverse_sqrt[rows][:, None] * current[rows]
+        smoothed = inverse_sqrt[rows][:, None] * (summed + scaled_rows)
+        current[rows] = (1.0 - alpha) * smoothed + alpha * base[rows]
+
+    block = current[affected]
+    if renormalize:
+        norms = np.linalg.norm(block, axis=1, keepdims=True)
+        norms = np.where(norms == 0.0, 1.0, norms)
+        block = block / norms
+    out = previous.copy()
+    out[affected] = block
+    return out, affected
 
 
 def low_degree_entities(

@@ -19,10 +19,21 @@ with cached weighted degrees.  The string-keyed query API (``neighbors``,
 ``degree``, ``edge_weight``, ...) is a thin view over the id space; hot-path
 consumers (the LINE trainer, propagation) use the array accessors
 :meth:`edge_arrays`, :meth:`csr_arrays` and :attr:`degrees` directly.
+
+Streaming updates: a finalized graph keeps accepting
+:meth:`~EntityProximityGraph.add_cooccurrence` /
+:meth:`~EntityProximityGraph.add_pair_arrays` deltas — they buffer exactly
+like pre-finalize rows and are merged by
+:meth:`~EntityProximityGraph.refinalize`, which re-derives the thresholded /
+weighted / CSR state through the same code path as ``finalize()`` (so the
+merged graph is bit-equal to a from-scratch build over the union corpus) and
+reports the :class:`RefinalizeReport` dirty vertex set for targeted
+downstream refreshes (alias tables, LINE fine-tuning, propagation).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -39,6 +50,32 @@ except ImportError:  # pragma: no cover - networkx ships with the environment
 #: the id-encoded layout (entity name table + integer pair ids); version 1
 #: (three parallel string arrays) is still readable.
 GRAPH_FORMAT_VERSION = 2
+
+
+@dataclass(frozen=True)
+class RefinalizeReport:
+    """What changed when :meth:`EntityProximityGraph.refinalize` merged deltas.
+
+    New vertices shift the name-sorted compact id space, so vertex *ids* are
+    not stable across a merge (names are): ``old_to_new`` maps every
+    pre-merge vertex id to its id in the refreshed graph.  ``dirty_ids`` /
+    ``dirty_names`` (new id space) list every vertex with at least one
+    incident kept edge that is new or changed weight — the set downstream
+    consumers must refresh.  Because the paper weight
+    ``w_ij = log1p(co_ij) / log1p(max co)`` renormalises *every* edge when
+    the maximum kept count grows, ``max_count_changed`` rounds honestly make
+    all vertices dirty.
+    """
+
+    dirty_ids: np.ndarray
+    dirty_names: np.ndarray
+    old_to_new: np.ndarray
+    num_new_vertices: int
+    max_count_changed: bool
+
+    @property
+    def num_dirty(self) -> int:
+        return int(self.dirty_ids.size)
 
 
 class EntityProximityGraph:
@@ -67,6 +104,7 @@ class EntityProximityGraph:
         self._indices: np.ndarray = np.empty(0, dtype=np.int64)
         self._csr_weights: np.ndarray = np.empty(0, dtype=np.float64)
         self._degrees: np.ndarray = np.empty(0, dtype=np.float64)
+        self._vertex_raw_ids: np.ndarray = np.empty(0, dtype=np.int64)
         # Raw aggregated counts over *all* pairs (kept and sub-threshold),
         # preserved for cooccurrence() queries and save().
         self._raw_names: np.ndarray = np.empty(0, dtype=np.str_)
@@ -83,9 +121,12 @@ class EntityProximityGraph:
         return (first, second) if first <= second else (second, first)
 
     def add_cooccurrence(self, first: str, second: str, count: int = 1) -> None:
-        """Accumulate ``count`` co-occurrences between two entities."""
-        if self._finalized:
-            raise GraphError("graph already finalized; create a new one to add counts")
+        """Accumulate ``count`` co-occurrences between two entities.
+
+        On a finalized graph the pair is buffered as a pending delta: the
+        finalized state keeps serving unchanged until :meth:`refinalize`
+        merges the buffer.
+        """
         if first == second:
             return
         if count <= 0:
@@ -106,10 +147,9 @@ class EntityProximityGraph:
         (every ``counts`` defaults to 1, i.e. one sentence per row).  Pairs
         need not be unique or alphabetically oriented — aggregation and
         canonicalisation happen vectorised in :meth:`finalize`.  Self-pairs
-        are ignored, matching :meth:`add_cooccurrence`.
+        are ignored, matching :meth:`add_cooccurrence`.  On a finalized
+        graph the rows buffer as a pending delta for :meth:`refinalize`.
         """
-        if self._finalized:
-            raise GraphError("graph already finalized; create a new one to add counts")
         firsts = np.asarray(firsts, dtype=np.str_)
         seconds = np.asarray(seconds, dtype=np.str_)
         if firsts.shape != seconds.shape or firsts.ndim != 1:
@@ -204,6 +244,83 @@ class EntityProximityGraph:
         counts = np.concatenate([c[2] for c in chunks])
         return firsts, seconds, counts
 
+    def _clear_buffers(self) -> None:
+        self._buffer_firsts = []
+        self._buffer_seconds = []
+        self._buffer_counts = []
+        self._buffer_arrays = []
+
+    @property
+    def has_pending_updates(self) -> bool:
+        """Whether any buffered pair rows are waiting for (re)finalisation."""
+        return bool(self._buffer_firsts or self._buffer_arrays)
+
+    def _install_raw(
+        self,
+        raw_names: np.ndarray,
+        unique_keys: np.ndarray,
+        raw_lo: np.ndarray,
+        raw_hi: np.ndarray,
+        pair_counts: np.ndarray,
+    ) -> None:
+        self._raw_names = raw_names
+        self._raw_keys = unique_keys
+        self._raw_lo = raw_lo
+        self._raw_hi = raw_hi
+        self._raw_counts = pair_counts
+
+    def _finalize_from_raw(self) -> None:
+        """Threshold, weight and CSR-assemble from the aggregated raw arrays.
+
+        Shared by :meth:`finalize` and :meth:`refinalize` so an incremental
+        merge is bit-equal to a from-scratch build of the same raw counts.
+        """
+        raw_names = self._raw_names
+        raw_lo, raw_hi = self._raw_lo, self._raw_hi
+        pair_counts = self._raw_counts
+
+        kept = pair_counts >= self.min_cooccurrence
+        if not kept.any():
+            raise GraphError(
+                "no entity pair reaches the co-occurrence threshold "
+                f"({self.min_cooccurrence}); the proximity graph would be empty"
+            )
+        kept_lo, kept_hi, kept_counts = raw_lo[kept], raw_hi[kept], pair_counts[kept]
+
+        # Paper: w_ij = log(co_ij) / log(max co).  We add-one smooth both logs
+        # so that pairs with a single co-occurrence keep a strictly positive
+        # weight (otherwise they could never be sampled by the LINE trainer).
+        weights = np.log1p(kept_counts) / np.log1p(kept_counts.max())
+
+        # Compact the vertex space to entities with at least one kept edge;
+        # raw_names is sorted, so compact ids remain in name order.
+        vertex_raw_ids = np.unique(np.concatenate([kept_lo, kept_hi]))
+        self._names = raw_names[vertex_raw_ids]
+        self._vertex_index = {name: i for i, name in enumerate(self._names.tolist())}
+        self._vertex_raw_ids = vertex_raw_ids
+        src = np.searchsorted(vertex_raw_ids, kept_lo)
+        dst = np.searchsorted(vertex_raw_ids, kept_hi)
+        n = vertex_raw_ids.size
+
+        # Canonical edge list, sorted by (src, dst) — np.unique already
+        # returned the pair keys in this order.
+        self._edge_src = src
+        self._edge_dst = dst
+        self._edge_weights = weights
+        self._edge_keys = src * np.int64(n) + dst
+
+        # CSR over both directions (the graph is undirected).
+        rows = np.concatenate([src, dst])
+        cols = np.concatenate([dst, src])
+        vals = np.concatenate([weights, weights])
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        self._indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=n), out=self._indptr[1:])
+        self._indices = cols
+        self._csr_weights = vals
+        self._degrees = np.bincount(rows, weights=vals, minlength=n)
+
     def finalize(self) -> "EntityProximityGraph":
         """Apply the threshold, compute edge weights and freeze the graph."""
         if self._finalized:
@@ -235,59 +352,112 @@ class EntityProximityGraph:
             unique_keys = raw_lo = raw_hi = np.empty(0, dtype=np.int64)
             pair_counts = np.empty(0, dtype=np.int64)
 
-        kept = pair_counts >= self.min_cooccurrence
-        if not kept.any():
-            raise GraphError(
-                "no entity pair reaches the co-occurrence threshold "
-                f"({self.min_cooccurrence}); the proximity graph would be empty"
-            )
-        kept_lo, kept_hi, kept_counts = raw_lo[kept], raw_hi[kept], pair_counts[kept]
-
-        # Paper: w_ij = log(co_ij) / log(max co).  We add-one smooth both logs
-        # so that pairs with a single co-occurrence keep a strictly positive
-        # weight (otherwise they could never be sampled by the LINE trainer).
-        weights = np.log1p(kept_counts) / np.log1p(kept_counts.max())
-
-        # Compact the vertex space to entities with at least one kept edge;
-        # raw_names is sorted, so compact ids remain in name order.
-        vertex_raw_ids = np.unique(np.concatenate([kept_lo, kept_hi]))
-        self._names = raw_names[vertex_raw_ids]
-        self._vertex_index = {name: i for i, name in enumerate(self._names.tolist())}
-        src = np.searchsorted(vertex_raw_ids, kept_lo)
-        dst = np.searchsorted(vertex_raw_ids, kept_hi)
-        n = vertex_raw_ids.size
-
-        # Canonical edge list, sorted by (src, dst) — np.unique already
-        # returned the pair keys in this order.
-        self._edge_src = src
-        self._edge_dst = dst
-        self._edge_weights = weights
-        self._edge_keys = src * np.int64(n) + dst
-
-        # CSR over both directions (the graph is undirected).
-        rows = np.concatenate([src, dst])
-        cols = np.concatenate([dst, src])
-        vals = np.concatenate([weights, weights])
-        order = np.lexsort((cols, rows))
-        rows, cols, vals = rows[order], cols[order], vals[order]
-        self._indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(np.bincount(rows, minlength=n), out=self._indptr[1:])
-        self._indices = cols
-        self._csr_weights = vals
-        self._degrees = np.bincount(rows, weights=vals, minlength=n)
-
-        self._raw_names = raw_names
-        self._raw_lo = raw_lo
-        self._raw_hi = raw_hi
-        self._raw_counts = pair_counts
-        self._raw_keys = unique_keys
-
-        self._buffer_firsts = []
-        self._buffer_seconds = []
-        self._buffer_counts = []
-        self._buffer_arrays = []
+        self._install_raw(raw_names, unique_keys, raw_lo, raw_hi, pair_counts)
+        self._finalize_from_raw()
+        self._clear_buffers()
         self._finalized = True
         return self
+
+    def refinalize(self) -> RefinalizeReport:
+        """Merge buffered delta pairs into the finalized graph.
+
+        After :meth:`finalize`, the ``add_*`` methods keep buffering raw pair
+        occurrences.  This merges them into the aggregated count arrays —
+        O(existing pairs + delta): only the delta names are encoded, the
+        existing sorted key array is re-based with a monotone remap and the
+        new counts folded in by binary search — then re-derives the
+        thresholded / weighted / CSR state through the *same* code path as
+        :meth:`finalize`, so the merged graph is bit-equal to a from-scratch
+        rebuild over the union corpus while skipping the dominant
+        per-occurrence string encode.
+
+        Returns a :class:`RefinalizeReport` naming the dirty vertex set and
+        the old-to-new vertex id remap.  A kept edge is *dirty* when it is
+        new or its weight changed bit-wise; the weight diff automatically
+        captures the global renormalisation when the maximum kept count
+        grows (then every vertex is dirty and ``max_count_changed`` is set).
+        """
+        if not self._finalized:
+            raise GraphError("refinalize() requires a finalized graph; call finalize() first")
+        firsts, seconds, counts = self._gathered_buffers()
+        keep = firsts != seconds
+        firsts, seconds, counts = firsts[keep], seconds[keep], counts[keep]
+
+        old_names = self._names
+        if firsts.size == 0:
+            self._clear_buffers()
+            return RefinalizeReport(
+                dirty_ids=np.empty(0, dtype=np.int64),
+                dirty_names=old_names[:0].copy(),
+                old_to_new=np.arange(old_names.size, dtype=np.int64),
+                num_new_vertices=0,
+                max_count_changed=False,
+            )
+
+        # Encode only the delta names and grow the raw name table by a sorted
+        # merge; both tables are name-sorted so the old->new raw-id remap is
+        # monotone (it preserves the sort order of the existing pair keys).
+        delta_names, delta_codes = factorize_names(np.concatenate([firsts, seconds]))
+        raw_names = np.union1d(self._raw_names, delta_names)
+        old_raw_pos = np.searchsorted(raw_names, self._raw_names)
+        delta_pos = np.searchsorted(raw_names, delta_names)
+        first_ids = delta_pos[delta_codes[: firsts.size]]
+        second_ids = delta_pos[delta_codes[firsts.size:]]
+        lo_ids = np.minimum(first_ids, second_ids)
+        hi_ids = np.maximum(first_ids, second_ids)
+        stride = np.int64(raw_names.size)
+        delta_keys, key_inverse = np.unique(lo_ids * stride + hi_ids, return_inverse=True)
+        delta_counts = np.bincount(
+            key_inverse, weights=counts.astype(np.float64)
+        ).astype(np.int64)
+
+        # Re-key the existing aggregated pairs in the grown id space and fold
+        # the delta counts in at their binary-search slots.
+        old_keys = old_raw_pos[self._raw_lo] * stride + old_raw_pos[self._raw_hi]
+        merged_keys = np.union1d(old_keys, delta_keys)
+        merged_counts = np.zeros(merged_keys.size, dtype=np.int64)
+        merged_counts[np.searchsorted(merged_keys, old_keys)] = self._raw_counts
+        merged_counts[np.searchsorted(merged_keys, delta_keys)] += delta_counts
+
+        # Snapshot the old kept-edge state (re-keyed) for the dirty diff;
+        # _edge_weights is aligned with the kept pairs in ascending key order.
+        old_kept = self._raw_counts >= self.min_cooccurrence
+        old_kept_keys = old_keys[old_kept]
+        old_kept_weights = self._edge_weights
+        old_max_count = int(self._raw_counts[old_kept].max())
+
+        self._install_raw(
+            raw_names,
+            merged_keys,
+            merged_keys // stride,
+            merged_keys % stride,
+            merged_counts,
+        )
+        self._finalize_from_raw()
+        self._clear_buffers()
+
+        # Diff kept edges: a pair is dirty when it is newly kept or its
+        # weight changed; counts only grow, so every old kept pair is still
+        # present in the new kept set.
+        new_kept = self._raw_counts >= self.min_cooccurrence
+        new_kept_keys = self._raw_keys[new_kept]
+        old_positions = np.searchsorted(new_kept_keys, old_kept_keys)
+        changed = np.ones(new_kept_keys.size, dtype=bool)
+        changed[old_positions] = self._edge_weights[old_positions] != old_kept_weights
+        dirty_raw = np.unique(
+            np.concatenate(
+                [self._raw_lo[new_kept][changed], self._raw_hi[new_kept][changed]]
+            )
+        )
+        dirty_ids = np.searchsorted(self._vertex_raw_ids, dirty_raw)
+        new_max_count = int(self._raw_counts[new_kept].max())
+        return RefinalizeReport(
+            dirty_ids=dirty_ids,
+            dirty_names=self._names[dirty_ids].copy(),
+            old_to_new=np.searchsorted(self._names, old_names),
+            num_new_vertices=int(self._names.size - old_names.size),
+            max_count_changed=new_max_count != old_max_count,
+        )
 
     # ------------------------------------------------------------------ #
     # Queries (string-keyed thin view over the id space)
@@ -363,9 +533,19 @@ class EntityProximityGraph:
         return float(self._degrees[vertex])
 
     def cooccurrence(self, first: str, second: str) -> int:
-        """Raw co-occurrence count of a pair (0 if never seen)."""
+        """Raw co-occurrence count of a pair (0 if never seen).
+
+        On a finalized graph with buffered (not yet refinalized) deltas the
+        count includes the pending buffer, so the answer is always the total
+        over everything the graph has been fed.
+        """
         if not self._finalized:
             return self._buffered_cooccurrence(first, second)
+        pending = (
+            self._buffered_cooccurrence(first, second)
+            if self.has_pending_updates
+            else 0
+        )
         lo, hi = self._key(first, second)
         lo_pos = np.searchsorted(self._raw_names, lo)
         hi_pos = np.searchsorted(self._raw_names, hi)
@@ -375,12 +555,12 @@ class EntityProximityGraph:
             or self._raw_names[lo_pos] != lo
             or self._raw_names[hi_pos] != hi
         ):
-            return 0
+            return pending
         key = lo_pos * np.int64(self._raw_names.size) + hi_pos
         position = np.searchsorted(self._raw_keys, key)
         if position >= self._raw_keys.size or self._raw_keys[position] != key:
-            return 0
-        return int(self._raw_counts[position])
+            return pending
+        return int(self._raw_counts[position]) + pending
 
     def _buffered_cooccurrence(self, first: str, second: str) -> int:
         lo, hi = self._key(first, second)
@@ -474,9 +654,18 @@ class EntityProximityGraph:
         the weighting formula.  Pairs are stored id-encoded against a single
         entity-name table (format version 2); :meth:`load` also reads the
         legacy format with three parallel string arrays.
+
+        Raises :class:`GraphError` when buffered pair updates are pending —
+        they are not part of the finalized raw arrays and would otherwise
+        silently vanish from the saved file.
         """
         from ..utils.serialization import save_npz
 
+        if self.has_pending_updates:
+            raise GraphError(
+                "graph has buffered pair updates that are not part of the "
+                "finalized state; call finalize() or refinalize() before save()"
+            )
         self._require_finalized()
         save_npz(
             path,

@@ -1,0 +1,25 @@
+"""Streaming distant-supervision ingestion (ROADMAP item 3).
+
+The streaming subsystem keeps a live corpus, proximity graph, embedding set
+and serving model in sync with an incoming bag stream:
+
+* :class:`~repro.ingest.stream.StreamIngestor` — the incremental
+  corpus→graph→embedding refresh loop;
+* :class:`~repro.ingest.versions.ArtifactVersionStore` — immutable,
+  sha256-manifested versioned artifact sets with an atomically swapped
+  ``CURRENT`` pointer, which a watching
+  :class:`~repro.serve.daemon.ServingDaemon` hot-reloads from.
+
+See ``docs/streaming.md``.
+"""
+
+from .stream import IngestReport, StreamIngestor, synthetic_delta_bags
+from .versions import ArtifactVersionStore, VersionInfo
+
+__all__ = [
+    "ArtifactVersionStore",
+    "IngestReport",
+    "StreamIngestor",
+    "VersionInfo",
+    "synthetic_delta_bags",
+]

@@ -18,6 +18,10 @@ a concurrent server:
   then a single reference assignment switches traffic over — batches
   already dispatched finish on the old model, batches dispatched after the
   swap use the new one;
+* :meth:`~ServingDaemon.watch` follows a streaming-ingest artifact version
+  store (:mod:`repro.ingest`): each newly published version triggers the
+  same reload swap, and the active version id is reported in
+  :meth:`~ServingDaemon.stats`;
 * :meth:`~ServingDaemon.close` drains: no new requests are accepted, every
   queued request still gets its answer, then the loop and workers stop.
 
@@ -117,6 +121,16 @@ class ServingDaemon:
         self._executor: Optional[ThreadPoolExecutor] = None
         self._timer: Optional[asyncio.TimerHandle] = None
 
+        # Version-store watching (repro.ingest integration).  The store is
+        # duck-typed — anything whose current() returns None or an object
+        # with `.version` and `.checkpoint_path` — so the serving layer never
+        # imports the ingest package.
+        self._version_store = None
+        self._active_version: Optional[int] = None
+        self._reload_lock = threading.Lock()
+        self._watch_stop: Optional[threading.Event] = None
+        self._watch_thread: Optional[threading.Thread] = None
+
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
@@ -181,6 +195,7 @@ class ServingDaemon:
         or its batch's exception).  Raises :class:`ServiceError` if the
         drain exceeds ``timeout`` seconds; ``timeout=None`` waits forever.
         """
+        self._stop_watcher()
         with self._state_lock:
             if not self._running:
                 return
@@ -380,6 +395,80 @@ class ServingDaemon:
         )
         return new_service
 
+    # ------------------------------------------------------------------ #
+    # Version-store watching (streaming ingest pickup)
+    # ------------------------------------------------------------------ #
+    def watch(self, version_store, poll_interval: Optional[float] = 0.05) -> "ServingDaemon":
+        """Follow an artifact version store, hot-reloading on new versions.
+
+        ``version_store`` is duck-typed (an
+        :class:`repro.ingest.versions.ArtifactVersionStore` or anything whose
+        ``current()`` returns ``None`` or an object with ``.version`` and
+        ``.checkpoint_path``).  The store's *current* version at watch time
+        is adopted as the already-served baseline without reloading — the
+        daemon's initial service is assumed to be that version — and only
+        strictly newer versions trigger :meth:`reload`.
+
+        With a ``poll_interval`` (seconds) a background thread polls the
+        store; ``poll_interval=None`` registers the store without a thread so
+        callers drive :meth:`check_for_update` themselves (what the
+        deterministic tests do).  Watching stops at :meth:`close`.
+        """
+        if self._watch_thread is not None:
+            raise ServiceError("daemon is already watching a version store")
+        self._version_store = version_store
+        info = version_store.current()
+        self._active_version = info.version if info is not None else None
+        if poll_interval is None:
+            return self
+        if poll_interval <= 0:
+            raise ServiceError("poll_interval must be positive (or None for manual polling)")
+        self._watch_stop = threading.Event()
+
+        def poll() -> None:
+            assert self._watch_stop is not None
+            while not self._watch_stop.wait(poll_interval):
+                try:
+                    self.check_for_update()
+                except Exception as error:  # noqa: BLE001 - keep polling
+                    logger.warning("version-store poll failed: %s", error)
+
+        self._watch_thread = threading.Thread(
+            target=poll, name="repro-serve-watch", daemon=True
+        )
+        self._watch_thread.start()
+        logger.info("watching version store (poll every %.3gs)", poll_interval)
+        return self
+
+    def check_for_update(self) -> Optional[int]:
+        """Poll the watched store once; reload if a newer version is current.
+
+        Returns the newly adopted version id, or ``None`` when the store has
+        nothing newer.  Thread-safe (the poller thread and manual callers
+        serialise on a lock); batches already dispatched finish on the old
+        service exactly as with a direct :meth:`reload`.
+        """
+        if self._version_store is None:
+            raise ServiceError("no version store is being watched; call watch() first")
+        with self._reload_lock:
+            info = self._version_store.current()
+            if info is None:
+                return None
+            if self._active_version is not None and info.version <= self._active_version:
+                return None
+            self.reload(info.checkpoint_path)
+            self._active_version = info.version
+            logger.info("picked up version %d", info.version)
+            return info.version
+
+    def _stop_watcher(self) -> None:
+        if self._watch_stop is not None:
+            self._watch_stop.set()
+        if self._watch_thread is not None:
+            self._watch_thread.join()
+        self._watch_thread = None
+        self._watch_stop = None
+
     def stats(self) -> Dict[str, object]:
         """Frozen observability snapshot: metrics plus live queue depth."""
         snapshot = self.metrics.snapshot()
@@ -390,6 +479,7 @@ class ServingDaemon:
             }
             snapshot["running"] = self._running
         snapshot["model"] = self._service.model.describe()
+        snapshot["version"] = self._active_version
         snapshot["backend"] = {
             "name": self._service.backend.name,
             "serve_dtype": (

@@ -94,9 +94,27 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     corrupt: int = 0
+    pruned: int = 0
+    pruned_bytes: int = 0
 
     def as_dict(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "corrupt": self.corrupt}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "pruned": self.pruned,
+            "pruned_bytes": self.pruned_bytes,
+        }
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached artifact as reported by :meth:`ArtifactCache.list_versions`."""
+
+    kind: str
+    path: Path
+    size_bytes: int
+    modified: float
 
 
 @dataclass
@@ -205,6 +223,66 @@ class ArtifactCache:
     # ------------------------------------------------------------------ #
     # Maintenance
     # ------------------------------------------------------------------ #
+    def list_versions(self, kind: Optional[str] = None) -> "list[CacheEntry]":
+        """Every cached artifact (optionally one ``kind``), oldest first.
+
+        Entries are artifacts, not files: a directory-shaped artifact (e.g.
+        a corpus-store shard directory) is one entry whose ``size_bytes``
+        sums its members.  In-progress temporaries (``.*.tmp-*``) are
+        skipped.  The mtime ordering is what :meth:`prune` uses to decide
+        which entries an eviction keeps.
+        """
+        kinds = [kind] if kind is not None else sorted(
+            entry.name for entry in self.root.iterdir() if entry.is_dir()
+        ) if self.root.exists() else []
+        entries: list[CacheEntry] = []
+        for kind_name in kinds:
+            base = self.root / kind_name
+            if not base.is_dir():
+                continue
+            for path in sorted(base.iterdir()):
+                if path.name.startswith("."):
+                    continue  # atomic-save temporaries
+                if path.is_file():
+                    stat = path.stat()
+                    entries.append(
+                        CacheEntry(kind_name, path, int(stat.st_size), stat.st_mtime)
+                    )
+                elif path.is_dir() and (path / "manifest.json").exists():
+                    size = sum(
+                        member.stat().st_size
+                        for member in path.rglob("*")
+                        if member.is_file()
+                    )
+                    entries.append(
+                        CacheEntry(kind_name, path, int(size), path.stat().st_mtime)
+                    )
+        entries.sort(key=lambda entry: (entry.modified, str(entry.path)))
+        return entries
+
+    def prune(self, keep_last: int, kind: Optional[str] = None) -> int:
+        """Evict all but the ``keep_last`` most recent artifacts per kind.
+
+        Returns the number of evicted artifacts; the freed bytes accumulate
+        in ``stats.pruned_bytes`` (and counts in ``stats.pruned``) so the
+        streaming ingest loop can report how much disk its version churn
+        reclaimed.
+        """
+        if keep_last < 0:
+            raise ValueError("keep_last must be >= 0")
+        by_kind: Dict[str, list[CacheEntry]] = {}
+        for entry in self.list_versions(kind):
+            by_kind.setdefault(entry.kind, []).append(entry)
+        removed = 0
+        for entries in by_kind.values():
+            doomed = entries[: max(0, len(entries) - keep_last)]  # oldest first
+            for entry in doomed:
+                _remove_entry(entry.path)
+                removed += 1
+                self.stats.pruned += 1
+                self.stats.pruned_bytes += entry.size_bytes
+        return removed
+
     def clear(self, kind: Optional[str] = None) -> int:
         """Delete cached artifacts (all of them, or one ``kind``); returns count.
 

@@ -115,6 +115,88 @@ class TestArtifactCache:
         assert cache.clear() == 0
 
 
+class TestCacheMaintenance:
+    """list_versions / prune: the streaming ingest loop's disk hygiene."""
+
+    @staticmethod
+    def _populate(cache, kind, seeds):
+        import os
+
+        for order, seed in enumerate(seeds):
+            cache.get_or_build(
+                kind, {"seed": seed}, lambda: np.arange(4.0),
+                _save_array, _load_array, suffix="npy",
+            )
+            path = cache.path_for(kind, {"seed": seed}, suffix="npy")
+            os.utime(path, (1_000_000 + order, 1_000_000 + order))
+            yield path
+
+    def test_list_versions_orders_by_mtime_per_kind(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        stage_paths = list(self._populate(cache, "stage", [0, 1, 2]))
+        graph_paths = list(self._populate(cache, "graph", [0]))
+        entries = cache.list_versions()
+        assert [entry.path for entry in entries if entry.kind == "stage"] == stage_paths
+        assert [entry.path for entry in entries if entry.kind == "graph"] == graph_paths
+        assert all(entry.size_bytes > 0 for entry in entries)
+        only_stage = cache.list_versions(kind="stage")
+        assert [entry.path for entry in only_stage] == stage_paths
+        assert cache.list_versions(kind="no-such-kind") == []
+
+    def test_list_versions_skips_temporaries_and_sums_directories(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        list(self._populate(cache, "stage", [0]))
+        (tmp_path / "stage" / ".partial.tmp-123").write_bytes(b"x")
+        artifact_dir = tmp_path / "corpus" / "abc123"
+        artifact_dir.mkdir(parents=True)
+        (artifact_dir / "manifest.json").write_text("{}", encoding="utf-8")
+        (artifact_dir / "shard-0.npy").write_bytes(b"y" * 100)
+        # A directory without a manifest is in-progress, not an artifact.
+        (tmp_path / "corpus" / "half-written").mkdir()
+        entries = cache.list_versions()
+        assert all(".tmp-" not in entry.path.name for entry in entries)
+        [corpus_entry] = [entry for entry in entries if entry.kind == "corpus"]
+        assert corpus_entry.path == artifact_dir
+        assert corpus_entry.size_bytes == 100 + len("{}")
+
+    def test_prune_keeps_newest_and_accounts_bytes(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        stage_paths = list(self._populate(cache, "stage", [0, 1, 2]))
+        graph_paths = list(self._populate(cache, "graph", [0, 1]))
+        doomed_bytes = sum(
+            path.stat().st_size for path in stage_paths[:2] + graph_paths[:1]
+        )
+        removed = cache.prune(keep_last=1)
+        assert removed == 3
+        assert cache.stats.pruned == 3
+        assert cache.stats.pruned_bytes == doomed_bytes
+        survivors = [entry.path for entry in cache.list_versions()]
+        assert survivors == [graph_paths[-1], stage_paths[-1]]
+        # Surviving artifacts still load (hit, not a rebuild).
+        cache.get_or_build(
+            "stage", {"seed": 2}, lambda: np.arange(4.0),
+            _save_array, _load_array, suffix="npy",
+        )
+        assert cache.stats.hits == 1
+
+    def test_prune_scoped_to_one_kind(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        list(self._populate(cache, "stage", [0, 1]))
+        list(self._populate(cache, "graph", [0, 1]))
+        assert cache.prune(keep_last=1, kind="stage") == 1
+        assert len(cache.list_versions(kind="graph")) == 2
+        assert len(cache.list_versions(kind="stage")) == 1
+
+    def test_prune_validates_and_zero_keep_empties(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with pytest.raises(ValueError, match=">= 0"):
+            cache.prune(keep_last=-1)
+        list(self._populate(cache, "stage", [0, 1]))
+        assert cache.prune(keep_last=0) == 2
+        assert cache.list_versions() == []
+        assert cache.prune(keep_last=0) == 0  # idempotent on empty
+
+
 class TestGraphPersistence:
     def test_round_trip(self, tmp_path, nyt_bundle):
         graph = EntityProximityGraph.from_counts(nyt_bundle.pair_cooccurrence)

@@ -504,6 +504,129 @@ class TestHotReload:
 
 
 # --------------------------------------------------------------------- #
+# Daemon: version-store watching (streaming ingest pickup)
+# --------------------------------------------------------------------- #
+class TestVersionWatch:
+    @pytest.fixture()
+    def publishers(self, nyt_context, tmp_path):
+        """A version store plus a closure publishing servable checkpoints."""
+        from repro.ingest import ArtifactVersionStore
+        from repro.ingest.versions import CHECKPOINT_MEMBER
+
+        store = ArtifactVersionStore(tmp_path / "versions")
+
+        def publish(method_name: str):
+            method, _ = train_and_evaluate(nyt_context, method_name)
+
+            def write(stage):
+                method.model.save(
+                    stage / CHECKPOINT_MEMBER,
+                    encoder=nyt_context.bag_encoder,
+                    schema=nyt_context.bundle.schema,
+                    kb=nyt_context.bundle.kb,
+                )
+
+            return store.publish(write, metadata={"method": method_name})
+
+        return store, publish
+
+    def test_version_pickup_mid_stream(self, nyt_context, publishers):
+        """A published version is adopted without restart or dropped requests.
+
+        Deterministic replay of the streaming handoff: the daemon watches in
+        manual-poll mode (``poll_interval=None`` — the poller thread's body is
+        exactly ``check_for_update``, called here from the test instead of a
+        timer), an old-model batch is held in flight across the version flip,
+        and completion order is inverted. Requests submitted before the flip
+        must answer from the old version, requests after it from the new one.
+        """
+        store, publish = publishers
+        first = publish("pa_tmr")
+        service_a = PredictionService.from_checkpoint(first.checkpoint_path)
+        requests = requests_from_context(nyt_context, 4)
+        expected_a = [service_a.predict(r) for r in requests[:2]]
+
+        runner = GatedRunner()
+        config = DaemonConfig(max_batch_size=2, max_wait_ms=10_000.0, num_workers=2)
+        daemon = ServingDaemon(
+            PredictionService.from_checkpoint(first.checkpoint_path),
+            config=config,
+            batch_runner=runner,
+        )
+        with daemon:
+            daemon.watch(store, poll_interval=None)
+            # The store's current version is adopted as the baseline served
+            # version — no reload, and polling again is a no-op.
+            assert daemon.stats()["version"] == first.version
+            assert daemon.check_for_update() is None
+            assert daemon.stats()["reloads"] == 0
+
+            old_futures = [daemon.submit(r) for r in requests[:2]]
+            runner.wait_for_batch(0)          # old-version batch is in flight
+
+            second = publish("pcnn_att")      # the ingestor ships a new round
+            assert daemon.check_for_update() == second.version
+            service_b = PredictionService.from_checkpoint(second.checkpoint_path)
+            expected_b = [service_b.predict(r) for r in requests[2:]]
+            new_futures = [daemon.submit(r) for r in requests[2:]]
+            runner.wait_for_batch(1)
+
+            # New batch completes first; the old one must still answer from
+            # the old version's weights.
+            runner.release(1)
+            new_results = [f.result(timeout=30.0) for f in new_futures]
+            runner.release(0)
+            old_results = [f.result(timeout=30.0) for f in old_futures]
+            stats = daemon.stats()
+
+        for result, expected in zip(old_results, expected_a):
+            np.testing.assert_allclose(
+                result.probabilities, expected.probabilities, atol=1e-12
+            )
+        for result, expected in zip(new_results, expected_b):
+            np.testing.assert_allclose(
+                result.probabilities, expected.probabilities, atol=1e-12
+            )
+        assert stats["version"] == second.version
+        assert stats["reloads"] == 1
+        assert stats["requests"]["completed"] == 4
+        assert stats["requests"]["failed"] == 0
+        # The flip captured distinct service objects per batch.
+        assert runner.batches[0][0] is not runner.batches[1][0]
+
+    def test_threaded_watch_picks_up_version(self, services, publishers):
+        """The background poller adopts new versions without manual polling."""
+        store, publish = publishers
+        publish("pa_tmr")
+        with ServingDaemon(services("pa_tmr"), config=DaemonConfig(max_wait_ms=0.0)) as daemon:
+            daemon.watch(store, poll_interval=0.01)
+            with pytest.raises(ServiceError, match="already watching"):
+                daemon.watch(store, poll_interval=0.01)
+            second = publish("pcnn_att")
+            deadline = 30.0
+            while daemon.stats()["version"] != second.version and deadline > 0:
+                import time
+
+                time.sleep(0.02)
+                deadline -= 0.02
+            assert daemon.stats()["version"] == second.version
+            assert daemon.stats()["reloads"] == 1
+        # close() joined the poller thread.
+        assert daemon._watch_thread is None
+
+    def test_watch_error_paths(self, services, publishers):
+        store, _ = publishers
+        with ServingDaemon(services("pa_tmr"), config=DaemonConfig(max_wait_ms=0.0)) as daemon:
+            with pytest.raises(ServiceError, match="call watch"):
+                daemon.check_for_update()
+            with pytest.raises(ServiceError, match="positive"):
+                daemon.watch(store, poll_interval=0.0)
+            # An empty store watches cleanly: no baseline, nothing to adopt.
+            assert daemon.stats()["version"] is None
+            assert daemon.check_for_update() is None
+
+
+# --------------------------------------------------------------------- #
 # Daemon: fault paths
 # --------------------------------------------------------------------- #
 class TestFaultPaths:

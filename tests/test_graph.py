@@ -91,9 +91,27 @@ class TestProximityGraph:
         with pytest.raises(GraphError):
             graph.num_vertices
 
-    def test_add_after_finalize_rejected(self, triangle_graph):
-        with pytest.raises(GraphError):
-            triangle_graph.add_cooccurrence("x", "y")
+    def test_add_after_finalize_buffers_for_refinalize(self, triangle_graph):
+        # Streaming contract: a finalized graph keeps accepting deltas; they
+        # buffer (visible to cooccurrence()) until refinalize() merges them.
+        triangle_graph.add_cooccurrence("a", "b", 3)
+        assert triangle_graph.has_pending_updates
+        assert triangle_graph.cooccurrence("a", "b") == 13
+        assert triangle_graph.edge_weight("a", "b") == pytest.approx(1.0)
+        triangle_graph.refinalize()
+        assert not triangle_graph.has_pending_updates
+        assert triangle_graph.cooccurrence("a", "b") == 13
+
+    def test_save_with_pending_updates_rejected(self, triangle_graph, tmp_path):
+        # Regression: buffered counts used to silently vanish on a
+        # save()/load() round-trip; now the save is refused outright.
+        triangle_graph.add_cooccurrence("a", "b", 3)
+        with pytest.raises(GraphError, match="refinalize"):
+            triangle_graph.save(tmp_path / "graph.npz")
+        triangle_graph.refinalize()
+        triangle_graph.save(tmp_path / "graph.npz")
+        reloaded = EntityProximityGraph.load(tmp_path / "graph.npz")
+        assert reloaded.cooccurrence("a", "b") == 13
 
     def test_common_neighbors(self, triangle_graph):
         assert triangle_graph.common_neighbors("a", "c") == ["b"]

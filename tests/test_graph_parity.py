@@ -328,10 +328,14 @@ class TestErrorPaths:
         with pytest.raises(GraphError):
             graph.add_pair_arrays(["a", "b"], ["c", "d"], [1])
 
-    def test_bulk_add_after_finalize_rejected(self):
+    def test_bulk_add_after_finalize_buffers(self):
         graph = EntityProximityGraph.from_counts({("a", "b"): 2})
-        with pytest.raises(GraphError, match="finalized"):
-            graph.add_pair_arrays(["x"], ["y"])
+        graph.add_pair_arrays(["x"], ["y"])
+        assert graph.has_pending_updates
+        assert graph.cooccurrence("x", "y") == 1
+        assert not graph.has_vertex("x")  # finalized state untouched until merge
+        graph.refinalize()
+        assert graph.has_vertex("x")
 
     def test_vertex_ids_roundtrip_and_missing(self):
         graph = EntityProximityGraph.from_counts({("a", "b"): 2, ("b", "c"): 1})
