@@ -58,12 +58,21 @@ def peak_rss_mb() -> float:
 def write_report(name: str, content: str) -> Path:
     """Persist a regenerated table/figure next to the benchmarks.
 
-    Every report carries a peak-RSS footer so the recorded numbers always
-    come with the memory footprint of the process that produced them.
+    Every report carries a footer with the machine's cpu count and the
+    peak RSS so the recorded numbers always come with the compute and
+    memory footprint of the process that produced them.  The RSS is the
+    *lifetime* peak (VmHWM) of the whole pytest process: when several
+    benchmark files share one session, every earlier benchmark's footprint
+    (notably the out-of-core corpus suite) is included.  Run a benchmark
+    file standalone for a figure attributable to that benchmark alone.
     """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
-    footer = f"\n[peak RSS of benchmark process: {peak_rss_mb():.1f} MiB]"
+    footer = (
+        f"\n[cpus: {os.cpu_count()}]"
+        f"\n[lifetime peak RSS of benchmark process: {peak_rss_mb():.1f} MiB"
+        " (shared pytest session: includes every benchmark run before this one)]"
+    )
     path.write_text(content + footer + "\n", encoding="utf-8")
     return path
 

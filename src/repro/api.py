@@ -22,6 +22,7 @@ never touch it except for the scoped install around each experiment run.
 from __future__ import annotations
 
 import copy
+import dataclasses
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -114,14 +115,34 @@ class Session:
     # ------------------------------------------------------------------ #
     # Model lifecycle
     # ------------------------------------------------------------------ #
-    def train(self, method: str = "pa_tmr", dataset: str = "nyt") -> Tuple[object, EvaluationResult]:
+    def train(
+        self,
+        method: str = "pa_tmr",
+        dataset: str = "nyt",
+        backend: Optional[str] = None,
+    ) -> Tuple[object, EvaluationResult]:
         """Train one method on the session context and evaluate it held-out.
 
         Returns the fitted :class:`~repro.baselines.api.RelationExtractionMethod`
         and its :class:`EvaluationResult`; repeated calls reuse the context's
         per-method cache.
+
+        ``backend`` pins the training compute backend for this call (e.g.
+        ``"fast"`` for float32 activations with float64 master weights; see
+        ``docs/architecture.md``).  A pinned backend that differs from the
+        context's configured one bypasses the per-method cache — the cache is
+        keyed by method name only, and results trained under a different
+        dtype policy must not be conflated.
         """
-        return train_and_evaluate(self.context(dataset), method)
+        context = self.context(dataset)
+        if backend is None or backend == context.training_config.backend:
+            return train_and_evaluate(context, method)
+        original = context.training_config
+        context.training_config = dataclasses.replace(original, backend=backend)
+        try:
+            return train_and_evaluate(context, method, use_cache=False)
+        finally:
+            context.training_config = original
 
     def save_checkpoint(
         self,

@@ -73,6 +73,7 @@ def apply_profile_overrides(
     epochs: Optional[int] = None,
     mmap: Optional[bool] = None,
     encode_workers: Optional[int] = None,
+    train_backend: Optional[str] = None,
 ) -> ScaleProfile:
     """Apply the CLI's profile-tuning flags in place; returns the profile."""
     if per_bag_training:
@@ -91,6 +92,12 @@ def apply_profile_overrides(
         if encode_workers < 0:
             raise ConfigurationError("--encode-workers must be >= 0")
         profile.encode_workers = encode_workers
+    if train_backend is not None:
+        # Fail fast on backend typos before paying for dataset preparation.
+        from .nn.backend import get_backend
+
+        get_backend(train_backend)  # raises ConfigurationError listing choices
+        profile.train_backend = train_backend
     return profile
 
 
@@ -209,6 +216,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         epochs=args.epochs,
         mmap=args.mmap,
         encode_workers=args.encode_workers,
+        train_backend=args.backend,
     )
     cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
     context = prepare_context(args.dataset, profile=profile, seed=args.seed, cache=cache)
@@ -477,6 +485,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="fork this many corpus-encode workers (0/1 = serial)",
+    )
+    train_parser.add_argument(
+        "--backend",
+        default=None,
+        help="training compute backend: 'reference' (float64, the default "
+        "numerics) or 'fast' (float32 activations/gradients with float64 "
+        "master weights; matches reference to a small tolerance, higher "
+        "throughput); omit to keep the ambient backend",
     )
     train_parser.set_defaults(func=_cmd_train)
 

@@ -134,6 +134,13 @@ class TrainingConfig:
     # round-off, several times faster per epoch.  Models the batched layer
     # does not understand fall back to the per-bag loop automatically.
     batched_training: bool = True
+    # Compute backend for the batched training path ("reference", "fast",
+    # ...; see repro.nn.backend).  None keeps the ambient backend and
+    # today's float64 numerics; "fast" opts the forward/backward graph into
+    # float32 with float64 master weights held by the optimizer (losses and
+    # final parameters match the reference run to an explicit tolerance —
+    # see docs/architecture.md for the parity contract).
+    backend: Optional[str] = None
 
     def validate(self) -> None:
         if self.epochs <= 0:
@@ -146,6 +153,12 @@ class TrainingConfig:
             raise ConfigurationError(f"unknown optimizer '{self.optimizer}'")
         if self.na_class_weight <= 0:
             raise ConfigurationError("na_class_weight must be positive")
+        if self.backend is not None:
+            # Delayed import: repro.nn.backend imports repro.exceptions, which
+            # must not pull config back in at module-import time.
+            from .nn.backend import get_backend
+
+            get_backend(self.backend)  # raises ConfigurationError if unknown
 
 
 @dataclass
@@ -314,6 +327,11 @@ class ScaleProfile:
     # Session.daemon / daemon_config).  None = ambient backend with today's
     # float64 numerics; "fast" = float32 weights + workspace reuse.
     serve_backend: Optional[str] = None
+    # Compute backend for training built off this profile (forwarded into
+    # TrainingConfig.backend by training_config()).  None = ambient backend
+    # and float64 training; "fast" = float32 forward/backward graph with
+    # float64 master weights in the optimizer.
+    train_backend: Optional[str] = None
     # Out-of-core corpus engine knobs (PR 7).  `encode_workers` > 1 fans
     # BagEncoder.encode_store out over forked workers (0/1 = serial, the
     # deterministic tier-1 default — parallel results are bitwise identical,
@@ -406,6 +424,7 @@ class ScaleProfile:
             learning_rate=self.learning_rate,
             seed=seed,
             batched_training=self.batched_training,
+            backend=self.train_backend,
         )
         config.batch_size = max(8, min(32, self.model_config().batch_size))
         return config

@@ -1,10 +1,12 @@
 """Pluggable array-compute backends for the gradient-free hot paths.
 
 The autograd substrate (:mod:`repro.nn.tensor`) stays hard-wired to numpy —
-training needs its recorded graphs.  Serving does not: the batched forward
-(:mod:`repro.batch.inference`) is gradient-free, so its kernels can be
-dispatched through the small protocol defined here and swapped without
-touching the model code.  Three backends register today:
+training needs its recorded graphs.  The batched *kernels* on both hot paths
+are another matter: the serve-side forward (:mod:`repro.batch.inference`) and
+the training-side fused forward/backward (:mod:`repro.batch.training`) both
+dispatch their heavy array ops through the small protocol defined here, so
+they can be swapped without touching the model code.  Three backends register
+today:
 
 ``reference``
     Plain numpy at the model's own dtype (float64 by default).  Byte-preserves
@@ -25,9 +27,10 @@ override installed with :func:`set_backend`, which beats the
 ``REPRO_BACKEND`` environment variable, which falls back to ``reference``.
 Ambient selection (env var / :func:`set_backend`) swaps *kernels only*; a
 backend's dtype policy applies when a caller pins it explicitly (for
-example ``PredictionService(..., backend="fast")``), so exporting
-``REPRO_BACKEND=fast`` never silently changes the numbers an existing
-float64 service produces.
+example ``PredictionService(..., backend="fast")`` or
+``TrainingConfig(backend="fast")``), so exporting ``REPRO_BACKEND=fast``
+never silently changes the numbers an existing float64 service — or an
+existing training run — produces.
 """
 
 from __future__ import annotations
@@ -74,6 +77,8 @@ class Workspace:
 
     def __init__(self) -> None:
         self._buffers: Dict[Tuple[str, np.dtype], np.ndarray] = {}
+        self._allocations = 0
+        self._high_water_nbytes = 0
 
     def request(
         self,
@@ -93,6 +98,8 @@ class Workspace:
             capacity = needed if buffer is None else max(needed, 2 * buffer.size)
             buffer = np.empty(capacity, dtype=dtype)
             self._buffers[(key, dtype)] = buffer
+            self._allocations += 1
+            self._high_water_nbytes = max(self._high_water_nbytes, self.nbytes)
         return buffer[:needed].reshape(shape)
 
     def request_filled(
@@ -116,9 +123,36 @@ class Workspace:
         """Total bytes currently held by the pool."""
         return sum(buffer.nbytes for buffer in self._buffers.values())
 
-    def clear(self) -> None:
-        """Release every pooled buffer."""
+    @property
+    def allocations(self) -> int:
+        """Count of fresh buffer allocations over the workspace's lifetime.
+
+        Every :meth:`request` miss (new key or growth past current capacity)
+        increments this; steady-state loops should stop incrementing once they
+        have seen their widest batch, which is exactly what the training
+        no-growth tests assert.
+        """
+        return self._allocations
+
+    @property
+    def high_water_nbytes(self) -> int:
+        """Largest :attr:`nbytes` the pool has ever held (survives release)."""
+        return self._high_water_nbytes
+
+    def release(self) -> None:
+        """Free every pooled buffer but keep the lifetime statistics.
+
+        Use this to return steady-state scratch memory to the allocator while
+        preserving :attr:`allocations` / :attr:`high_water_nbytes` for
+        reporting (``Trainer.fit`` logs them per epoch).
+        """
         self._buffers.clear()
+
+    def clear(self) -> None:
+        """Release every pooled buffer and reset the lifetime statistics."""
+        self._buffers.clear()
+        self._allocations = 0
+        self._high_water_nbytes = 0
 
 
 class ArrayBackend:
@@ -131,6 +165,12 @@ class ArrayBackend:
         Float dtype a :class:`~repro.serve.PredictionService` casts model
         weights to when this backend is pinned explicitly (``None`` keeps the
         model's own dtype).
+    ``train_dtype``
+        Float dtype the :class:`~repro.training.Trainer` runs activations and
+        gradients in when this backend is pinned via
+        ``TrainingConfig(backend=...)`` (``None`` keeps the model's own
+        dtype).  Master weights stay float64 inside the optimizer regardless —
+        the policy governs the compute graph only.
     ``reuse_workspace``
         Whether the batched forward should route scratch allocations through
         a :class:`Workspace`.
@@ -143,6 +183,7 @@ class ArrayBackend:
 
     name: str = "abstract"
     serve_dtype: Optional[np.dtype] = None
+    train_dtype: Optional[np.dtype] = None
     reuse_workspace: bool = False
 
     # ------------------------------------------------------------------ #
@@ -280,22 +321,29 @@ class ReferenceBackend(ArrayBackend):
 
     name = "reference"
     serve_dtype = None
+    train_dtype = None
     reuse_workspace = False
 
 
 class FastBackend(ReferenceBackend):
-    """Float32 serve path with workspace reuse.
+    """Float32 serve and train paths with workspace reuse.
 
     The kernels are inherited unchanged — what makes this backend fast is
     policy, not arithmetic: weights and activations in float32 (half the
     bandwidth, sgemm instead of dgemm) and scratch buffers pooled across
-    batches.  The final combined-logits softmax still runs in float64
-    (:func:`repro.batch.inference` casts before the last reduction), keeping
-    output probabilities within ``1e-5`` of the reference path.
+    batches.  On the serve path the final combined-logits softmax still runs
+    in float64 (:func:`repro.batch.inference` casts before the last
+    reduction), keeping output probabilities within ``1e-5`` of the
+    reference path.  On the training path (``train_dtype=float32``) the
+    :class:`~repro.training.Trainer` keeps float64 *master* weights inside
+    the optimizer and accumulates gradients in float64 at the parameter
+    boundary, so only the forward/backward graph runs in float32 — see the
+    parity contract in ``docs/architecture.md``.
     """
 
     name = "fast"
     serve_dtype = np.dtype(np.float32)
+    train_dtype = np.dtype(np.float32)
     reuse_workspace = True
 
     def softmax(
@@ -326,6 +374,7 @@ class TorchBackend(ArrayBackend):
 
     name = "torch"
     serve_dtype = None
+    train_dtype = None
     reuse_workspace = False
 
     def __init__(self) -> None:

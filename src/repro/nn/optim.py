@@ -4,6 +4,15 @@ The paper trains with stochastic gradient descent (learning rate 0.3,
 Table III); Adam is provided as well because the LINE graph-embedding stage
 and several baselines converge much faster with it at the reduced scale of the
 synthetic datasets.
+
+Every ``step()`` is *fused*: updates run through in-place ``out=`` ufuncs into
+a small pooled :class:`~repro.nn.backend.Workspace`, so a steady-state
+training loop performs zero per-parameter temporary allocations after the
+first step.  The fused sequences replicate the historical per-temporary
+formulas operation for operation (scalar multiplication commutes bitwise,
+``x ** 2`` lowers to ``np.square``, and an in-place subtract writes the same
+value a fresh subtract would), so results stay bit-identical to earlier
+releases — ``tests/test_train_backend.py`` pins this.
 """
 
 from __future__ import annotations
@@ -12,6 +21,7 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
+from .backend import Workspace
 from .module import Parameter
 
 
@@ -25,6 +35,10 @@ class Optimizer:
         if lr <= 0:
             raise ValueError("learning rate must be positive")
         self.lr = lr
+        # Scratch pool shared by the fused step/clip kernels.  One buffer per
+        # (key, dtype) grows to the largest parameter and is reused for every
+        # parameter on every step.
+        self._scratch = Workspace()
 
     def zero_grad(self) -> None:
         for param in self.parameters:
@@ -33,12 +47,27 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def _decayed_grad(self, param: Parameter, weight_decay: float) -> np.ndarray:
+        """``grad + weight_decay * param.data`` without touching ``param.grad``.
+
+        Bit-equal to the historical ``grad + weight_decay * param.data``
+        temporary (addition commutes), landed in a pooled buffer.
+        """
+        buf = self._scratch.request("opt.grad", param.data.shape, param.data.dtype)
+        np.multiply(param.data, weight_decay, out=buf)
+        buf += param.grad
+        return buf
+
     def clip_grad_norm(self, max_norm: float) -> float:
         """Clip the global gradient norm; returns the pre-clip norm."""
         total = 0.0
         for param in self.parameters:
             if param.grad is not None:
-                total += float((param.grad ** 2).sum())
+                # Same bits as the historical `(grad ** 2).sum()` — ndarray
+                # `** 2` lowers to np.square — without the temporary.
+                sq = self._scratch.request("opt.sq", param.grad.shape, param.grad.dtype)
+                np.square(param.grad, out=sq)
+                total += float(sq.sum())
         norm = float(np.sqrt(total))
         if norm > max_norm and norm > 0:
             scale = max_norm / norm
@@ -67,16 +96,21 @@ class SGD(Optimizer):
         for param, velocity in zip(self.parameters, self._velocity):
             if param.grad is None or not param.requires_grad:
                 continue
-            grad = param.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                grad = self._decayed_grad(param, self.weight_decay)
+            else:
+                grad = param.grad
             if self.momentum:
                 velocity *= self.momentum
                 velocity += grad
                 update = velocity
             else:
                 update = grad
-            param.data = param.data - self.lr * update
+            # Historical `param.data - self.lr * update`, fused: the scalar
+            # product commutes and the subtract lands in place.
+            buf = self._scratch.request("opt.upd", param.data.shape, param.data.dtype)
+            np.multiply(update, self.lr, out=buf)
+            np.subtract(param.data, buf, out=param.data)
 
 
 class Adam(Optimizer):
@@ -105,16 +139,31 @@ class Adam(Optimizer):
         for param, m, v in zip(self.parameters, self._m, self._v):
             if param.grad is None or not param.requires_grad:
                 continue
-            grad = param.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                grad = self._decayed_grad(param, self.weight_decay)
+            else:
+                grad = param.grad
+            upd = self._scratch.request("opt.upd", param.data.shape, param.data.dtype)
+            # m <- beta1*m + (1-beta1)*grad, exactly as the historical
+            # `m += (1-beta1) * grad` temporary computed it.
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=upd)
+            m += upd
+            # v <- beta2*v + ((1-beta2)*grad)*grad (historical left-to-right
+            # association preserved).
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias_correction1
-            v_hat = v / bias_correction2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, 1.0 - self.beta2, out=upd)
+            upd *= grad
+            v += upd
+            # param -= (lr * m_hat) / (sqrt(v_hat) + eps)
+            denom = self._scratch.request("opt.denom", param.data.shape, param.data.dtype)
+            np.divide(v, bias_correction2, out=denom)
+            np.sqrt(denom, out=denom)
+            denom += self.eps
+            np.divide(m, bias_correction1, out=upd)
+            upd *= self.lr
+            upd /= denom
+            np.subtract(param.data, upd, out=param.data)
 
 
 class Adagrad(Optimizer):
@@ -134,8 +183,17 @@ class Adagrad(Optimizer):
         for param, accum in zip(self.parameters, self._accum):
             if param.grad is None or not param.requires_grad:
                 continue
-            accum += param.grad ** 2
-            param.data = param.data - self.lr * param.grad / (np.sqrt(accum) + self.eps)
+            # accum += grad ** 2 (ndarray ** 2 lowers to np.square == grad*grad)
+            upd = self._scratch.request("opt.upd", param.data.shape, param.data.dtype)
+            np.multiply(param.grad, param.grad, out=upd)
+            accum += upd
+            # param -= (lr * grad) / (sqrt(accum) + eps)
+            denom = self._scratch.request("opt.denom", param.data.shape, param.data.dtype)
+            np.sqrt(accum, out=denom)
+            denom += self.eps
+            np.multiply(param.grad, self.lr, out=upd)
+            upd /= denom
+            np.subtract(param.data, upd, out=param.data)
 
 
 class LRScheduler:

@@ -10,12 +10,24 @@ gradients as the per-bag loop to float64 round-off, several times faster per
 epoch (``benchmarks/test_bench_train.py``).  Models the batched layer does
 not understand, and configs with ``batched_training=False``, use the per-bag
 loop.
+
+The batched path dispatches through the compute-backend seam
+(:mod:`repro.nn.backend`).  Ambient backend selection swaps kernels only and
+stays bit-identical; pinning ``TrainingConfig(backend="fast")`` additionally
+engages the backend's *training dtype policy*: the forward/backward graph
+runs in float32 on a shadow copy of the model while the optimizer keeps
+updating float64 master weights, with gradients accumulated in float64 at the
+parameter boundary (float32→float64 is exact).  Checkpoints and the trained
+model always hold the float64 masters — see the parity contract in
+``docs/architecture.md``.
 """
 
 from __future__ import annotations
 
+import contextlib
+import copy
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -28,6 +40,8 @@ from ..corpus.loader import BatchIterator
 from ..corpus.store import CorpusStore
 from ..exceptions import ConfigurationError
 from ..nn import functional as F
+from ..nn.backend import ArrayBackend, Workspace, resolve_backend
+from ..nn.tensor import default_dtype
 from ..utils.logging import get_logger
 from .callbacks import CheckpointCallback, EarlyStopping, LossHistory
 
@@ -69,6 +83,36 @@ class Trainer:
         self._optimizer = self._build_optimizer()
         self._class_weights = self._build_class_weights()
         self._batched = self.config.batched_training and supports_batched_training(model)
+        self._backend = resolve_backend(self.config.backend)
+        self._workspace = Workspace() if self._backend.reuse_workspace else None
+        self._master_params = self._optimizer.parameters
+        self._compute_model: nn.Module = self.model
+        self._compute_params = self._master_params
+        self._grad_buffers: List[np.ndarray] = []
+        self._train_dtype: Optional[np.dtype] = None
+        # The dtype policy engages only when the config names the backend
+        # explicitly — ambient selection (REPRO_BACKEND / set_backend) swaps
+        # kernels only and must stay bit-identical to the reference run.
+        policy = self._backend.train_dtype if self.config.backend is not None else None
+        if policy is not None and np.dtype(policy) != self.model.parameter_dtype():
+            if self._batched:
+                self._train_dtype = np.dtype(policy)
+                # Shadow compute model: forward/backward runs here in the
+                # policy dtype; the optimizer keeps updating the float64
+                # masters in self.model, which stay the source of truth for
+                # checkpoints and the returned trained model.
+                self._compute_model = copy.deepcopy(self.model).cast_(self._train_dtype)
+                self._compute_params = list(self._compute_model.parameters())
+                self._grad_buffers = [np.empty_like(p.data) for p in self._master_params]
+            else:
+                logger.warning(
+                    "backend '%s' requests %s training, but the %s path does "
+                    "not support the dtype policy; training in %s",
+                    self._backend.name,
+                    np.dtype(policy).name,
+                    "per-bag" if self.config.batched_training else "non-batched",
+                    self.model.parameter_dtype().name,
+                )
 
     # ------------------------------------------------------------------ #
     # Setup
@@ -97,6 +141,67 @@ class Trainer:
         return weights
 
     # ------------------------------------------------------------------ #
+    # Backend plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def backend(self) -> ArrayBackend:
+        """The resolved compute backend driving the batched training path."""
+        return self._backend
+
+    @property
+    def activation_dtype(self) -> np.dtype:
+        """Dtype the forward/backward graph runs in (policy or model dtype)."""
+        return self._train_dtype or self.model.parameter_dtype()
+
+    def workspace_stats(self) -> Optional[Dict[str, int]]:
+        """Pooled-scratch statistics, or ``None`` without workspace reuse.
+
+        ``allocations`` counts fresh buffer allocations over the trainer's
+        lifetime; a steady-state loop stops incrementing it after the first
+        epoch (asserted in ``tests/test_train_backend.py``).
+        """
+        if self._workspace is None:
+            return None
+        return {
+            "buffers": self._workspace.num_buffers,
+            "nbytes": self._workspace.nbytes,
+            "high_water_nbytes": self._workspace.high_water_nbytes,
+            "allocations": self._workspace.allocations,
+        }
+
+    def _graph_scope(self):
+        """Dtype scope for the forward/backward graph.
+
+        Under the float32 policy, python-scalar constants entering the graph
+        must become float32 0-d arrays or numpy's promotion would silently
+        upcast every downstream activation back to float64.
+        """
+        if self._train_dtype is not None:
+            return default_dtype(self._train_dtype)
+        return contextlib.nullcontext()
+
+    def _transfer_gradients(self) -> None:
+        """Copy compute-model gradients onto the float64 master parameters.
+
+        float32 → float64 is exact, so the master update sees precisely the
+        gradients the compute graph produced; the copies land in pooled
+        float64 buffers (no per-batch allocation).
+        """
+        for master, compute, buf in zip(
+            self._master_params, self._compute_params, self._grad_buffers
+        ):
+            if compute.grad is None:
+                master.grad = None
+            else:
+                np.copyto(buf, compute.grad)
+                master.grad = buf
+
+    def _sync_compute_weights(self) -> None:
+        """Downcast the updated float64 masters back into the compute model."""
+        for master, compute in zip(self._master_params, self._compute_params):
+            np.copyto(compute.data, master.data)
+
+    # ------------------------------------------------------------------ #
     # Training
     # ------------------------------------------------------------------ #
     def train_batch(
@@ -114,33 +219,45 @@ class Trainer:
         """
         if len(batch) == 0:
             raise ConfigurationError("empty batch")
-        if self._batched:
-            stacked = batched_train_logits(self.model, batch)
-            labels = (
-                batch.labels
-                if isinstance(batch, (MergedBagBatch, CorpusStore))
-                else np.array([bag.label for bag in batch], dtype=np.int64)
-            )
-        else:
-            if isinstance(batch, MergedBagBatch):
-                raise ConfigurationError(
-                    "a MergedBagBatch requires batched training; pass encoded "
-                    "bags (or a CorpusStore) for the per-bag loop"
+        with self._graph_scope():
+            if self._batched:
+                stacked = batched_train_logits(
+                    self._compute_model,
+                    batch,
+                    backend=self._backend,
+                    workspace=self._workspace,
                 )
-            stacked = nn.stack([self.model(bag, bag.label) for bag in batch], axis=0)
-            labels = np.array([bag.label for bag in batch], dtype=np.int64)
-        loss = F.cross_entropy(stacked, labels, weight=self._class_weights)
-        loss_value = float(loss.data)
-        if not np.isfinite(loss_value):
-            # Skip the update: back-propagating a NaN loss would poison every
-            # parameter and the optimizer state, while returning it lets
-            # fit() abort with the last finite parameters intact.
-            return loss_value
-        self._optimizer.zero_grad()
-        loss.backward()
+                labels = (
+                    batch.labels
+                    if isinstance(batch, (MergedBagBatch, CorpusStore))
+                    else np.array([bag.label for bag in batch], dtype=np.int64)
+                )
+            else:
+                if isinstance(batch, MergedBagBatch):
+                    raise ConfigurationError(
+                        "a MergedBagBatch requires batched training; pass encoded "
+                        "bags (or a CorpusStore) for the per-bag loop"
+                    )
+                stacked = nn.stack([self.model(bag, bag.label) for bag in batch], axis=0)
+                labels = np.array([bag.label for bag in batch], dtype=np.int64)
+            loss = F.cross_entropy(stacked, labels, weight=self._class_weights)
+            loss_value = float(loss.data)
+            if not np.isfinite(loss_value):
+                # Skip the update: back-propagating a NaN loss would poison every
+                # parameter and the optimizer state, while returning it lets
+                # fit() abort with the last finite parameters intact.
+                return loss_value
+            self._optimizer.zero_grad()
+            if self._compute_model is not self.model:
+                self._compute_model.zero_grad()
+            loss.backward()
+        if self._compute_model is not self.model:
+            self._transfer_gradients()
         if self.config.grad_clip is not None:
             self._optimizer.clip_grad_norm(self.config.grad_clip)
         self._optimizer.step()
+        if self._compute_model is not self.model:
+            self._sync_compute_weights()
         return loss_value
 
     def fit(
@@ -176,6 +293,15 @@ class Trainer:
             store = None
         history = LossHistory()
         self.model.train()
+        if self._compute_model is not self.model:
+            self._compute_model.train()
+        param_dtype = self.model.parameter_dtype().name
+        activation_dtype = self.activation_dtype.name
+        logger.info(
+            "training %d bags: backend=%s params=%s activations=%s batched=%s",
+            len(train_bags), self._backend.name, param_dtype, activation_dtype,
+            self._batched,
+        )
         stopped_early = False
         diverged = False
         epochs_run = 0
@@ -190,7 +316,7 @@ class Trainer:
         for epoch in range(self.config.epochs):
             for batch_index, batch in enumerate(iterator):
                 if store is not None:
-                    batch = merge_store_batch(store, batch)
+                    batch = merge_store_batch(store, batch, workspace=self._workspace)
                 loss = self.train_batch(batch)
                 history.record_batch(loss)
                 if not np.isfinite(loss):
@@ -208,7 +334,18 @@ class Trainer:
                     )
             epoch_loss = history.end_epoch()
             epochs_run = epoch + 1
-            logger.debug("epoch %d mean loss %.4f", epoch + 1, epoch_loss)
+            stats = self.workspace_stats()
+            logger.debug(
+                "epoch %d mean loss %.4f [backend=%s params=%s activations=%s%s]",
+                epoch + 1, epoch_loss, self._backend.name, param_dtype,
+                activation_dtype,
+                (
+                    f" scratch={stats['nbytes']}B/{stats['buffers']}buf"
+                    f" allocs={stats['allocations']}"
+                    if stats is not None
+                    else ""
+                ),
+            )
             if diverged:
                 break
             if checkpoint is not None:
@@ -217,6 +354,8 @@ class Trainer:
                 stopped_early = True
                 break
         self.model.eval()
+        if self._compute_model is not self.model:
+            self._compute_model.eval()
         return TrainingResult(
             epochs_run=epochs_run,
             batch_losses=history.batch_losses,

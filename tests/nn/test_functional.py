@@ -211,6 +211,22 @@ class TestEmbeddingAndDropout:
         out = F.dropout(x, p=0.5, training=True, rng=rng)
         assert out.data.dtype == np.float32
 
+    def test_dropout_mask_pattern_matches_across_dtypes(self):
+        # Fast-training parity: from the same generator state, a float32
+        # forward must keep/drop exactly the same units as the float64
+        # reference — the uniform draw happens in float64 either way.
+        expected = np.random.default_rng(11).random((64, 8)) >= 0.5
+        f32 = F.dropout(
+            Tensor(np.ones((64, 8), dtype=np.float32)),
+            p=0.5, training=True, rng=np.random.default_rng(11),
+        ).data
+        f64 = F.dropout(
+            Tensor(np.ones((64, 8))),
+            p=0.5, training=True, rng=np.random.default_rng(11),
+        ).data
+        np.testing.assert_array_equal(f32 != 0.0, expected)
+        np.testing.assert_array_equal(f64 != 0.0, expected)
+
     def test_dropout_float64_rng_stream_unchanged(self):
         # The float64 path must keep drawing doubles from the generator so
         # masks (and everything sampled after them) stay bit-identical to

@@ -160,6 +160,30 @@ class TestWorkspace:
         assert ws.num_buffers == 0
         assert ws.nbytes == 0
 
+    def test_allocation_stats_track_fresh_buffers_only(self):
+        ws = Workspace()
+        assert ws.allocations == 0 and ws.high_water_nbytes == 0
+        ws.request("x", (10,), np.float64)
+        assert ws.allocations == 1
+        ws.request("x", (8,), np.float64)  # fits: no new allocation
+        assert ws.allocations == 1
+        ws.request("x", (11,), np.float64)  # grows: one more allocation
+        assert ws.allocations == 2
+        assert ws.high_water_nbytes == ws.nbytes
+
+    def test_release_keeps_stats_clear_resets_them(self):
+        ws = Workspace()
+        ws.request("x", (16,), np.float64)
+        high_water = ws.high_water_nbytes
+        assert high_water >= 16 * 8
+        ws.release()
+        assert ws.num_buffers == 0 and ws.nbytes == 0
+        # release() frees memory but keeps the lifetime accounting so
+        # Trainer.fit can still report steady-state scratch usage.
+        assert ws.allocations == 1 and ws.high_water_nbytes == high_water
+        ws.clear()
+        assert ws.allocations == 0 and ws.high_water_nbytes == 0
+
     def test_scratch_pools_only_for_reusing_backends(self):
         ws = Workspace()
         reference = get_backend("reference")
@@ -324,3 +348,45 @@ class TestTorchBackend:
         table = np.arange(20.0).reshape(5, 4)
         indices = np.array([4, 0, 2])
         np.testing.assert_array_equal(backend.gather_rows(table, indices), table[indices])
+
+    def test_registry_lists_torch(self):
+        # When torch imports, registration happens at module import time and
+        # the backend resolves by name with a neutral dtype policy.
+        assert "torch" in available_backends()
+        backend = get_backend("torch")
+        assert backend.name == "torch"
+        assert backend.serve_dtype is None and backend.train_dtype is None
+
+    def test_single_fused_training_step_matches_reference(self, nyt_context):
+        """One optimizer step under pinned torch kernels tracks the reference.
+
+        Torch's dtype policy is neutral, so a pinned-torch step differs from
+        reference only by the kernel execution engine; the fused in-place
+        optimizer must land within float64 round-off of the reference step.
+        """
+        from repro.baselines.registry import build_method
+        from repro.config import TrainingConfig
+        from repro.training.trainer import Trainer
+
+        bags = nyt_context.train_encoded[:6]
+        params = {}
+        for name in ("reference", "torch"):
+            model = build_method(
+                "pa_tmr",
+                vocab_size=nyt_context.vocab_size,
+                num_relations=nyt_context.num_relations,
+                model_config=nyt_context.model_config,
+                training_config=nyt_context.training_config,
+                kb=nyt_context.bundle.kb,
+                entity_embeddings=nyt_context.entity_embeddings,
+                seed=0,
+            ).model
+            config = TrainingConfig(
+                epochs=1, batch_size=6, optimizer="adam", seed=0, backend=name
+            )
+            trainer = Trainer(model, nyt_context.num_relations, config)
+            model.train()
+            trainer.train_batch(bags)
+            params[name] = [param.data.copy() for param in model.parameters()]
+        for expected, actual in zip(params["reference"], params["torch"]):
+            np.testing.assert_allclose(actual, expected, rtol=0, atol=1e-10)

@@ -5,6 +5,7 @@ from __future__ import annotations
 
 import json
 
+import numpy as np
 import pytest
 
 from repro import cli
@@ -194,6 +195,30 @@ class TestTrainServeWorkflow:
         bad.write_text(json.dumps([{"head": "a", "tail": "b", "sentences": "a b"}]))
         assert cli.main(["serve", "--checkpoint", str(checkpoint),
                          "--requests", str(bad)]) == 2
+
+    def test_train_backend_flag_pins_fast_training(self, tmp_path, capsys):
+        """``train --backend fast`` produces a servable float64 checkpoint."""
+        checkpoint = tmp_path / "ckpt"
+        code = cli.main(
+            ["train", "--method", "pcnn_att", "--dataset", "nyt", "--profile", "tiny",
+             "--seed", "0", "--epochs", "1", "--backend", "fast",
+             "--checkpoint", str(checkpoint)]
+        )
+        assert code == 0
+        assert "checkpoint:" in capsys.readouterr().out
+        from repro.core.model import NeuralREModel
+
+        model = NeuralREModel.load(checkpoint)
+        for param in model.parameters():
+            assert param.data.dtype == np.float64
+
+    def test_train_backend_flag_rejects_unknown(self, tmp_path, capsys):
+        code = cli.main(
+            ["train", "--method", "pcnn_att", "--profile", "tiny",
+             "--backend", "warp-drive", "--checkpoint", str(tmp_path / "ckpt")]
+        )
+        assert code == 2
+        assert "warp-drive" in capsys.readouterr().err
 
     def test_serve_missing_checkpoint_exits_1(self, tmp_path, capsys):
         requests = tmp_path / "requests.json"
